@@ -1,0 +1,106 @@
+//! # asrank-baselines
+//!
+//! The relationship-inference algorithms the paper compares against, each
+//! consuming the same [`asrank_types::PathSet`] and producing the same
+//! [`asrank_types::RelationshipMap`] so the validation framework can
+//! score all of them identically:
+//!
+//! * [`gao`] — Gao's classic degree-based algorithm (ToN 2001): find the
+//!   top provider of each path by node degree, vote uphill/downhill,
+//!   classify by vote counts, then mark near-equal-degree top links as
+//!   peering.
+//! * [`xia_gao`] — the Xia & Gao (2004) extension: start from a *seed* of
+//!   known relationships (in the paper, RPSL-derived; here, a validation
+//!   corpus sample), locate each path's peak using the seed, and infer
+//!   the rest under the valley-free constraint.
+//! * [`sark`] — the Subramanian et al. (INFOCOM 2002) multi-vantage-point
+//!   heuristic: per-VP BFS levels, combined across views; links between
+//!   similarly-ranked ASes become p2p, others c2p.
+//! * [`degree`] — the naive floor: point c2p at the higher node degree
+//!   unless the two degrees are within a tolerance band (then p2p).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod degree;
+pub mod gao;
+pub mod sark;
+pub mod xia_gao;
+
+pub use degree::{degree_heuristic, DegreeHeuristicConfig};
+pub use gao::{gao_infer, GaoConfig};
+pub use sark::{sark_infer, SarkConfig};
+pub use xia_gao::{xia_gao_infer, XiaGaoConfig};
+
+use asrank_types::{PathSet, RelationshipMap};
+
+/// A uniform handle over every baseline, so experiment harnesses can
+/// sweep algorithms generically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Gao (2001).
+    Gao,
+    /// Xia & Gao (2004) — runs with an empty seed unless invoked through
+    /// [`xia_gao::xia_gao_infer`] directly.
+    XiaGao,
+    /// Subramanian et al. (2002).
+    Sark,
+    /// Naive degree heuristic.
+    Degree,
+}
+
+impl Baseline {
+    /// Human-readable name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Baseline::Gao => "Gao",
+            Baseline::XiaGao => "Xia-Gao",
+            Baseline::Sark => "SARK",
+            Baseline::Degree => "Degree",
+        }
+    }
+
+    /// Run the baseline with default parameters.
+    pub fn run(&self, paths: &PathSet) -> RelationshipMap {
+        match self {
+            Baseline::Gao => gao_infer(paths, &GaoConfig::default()),
+            Baseline::XiaGao => {
+                xia_gao_infer(paths, &RelationshipMap::new(), &XiaGaoConfig::default())
+            }
+            Baseline::Sark => sark_infer(paths, &SarkConfig::default()),
+            Baseline::Degree => degree_heuristic(paths, &DegreeHeuristicConfig::default()),
+        }
+    }
+
+    /// All baselines, in report order.
+    pub fn all() -> [Baseline; 4] {
+        [
+            Baseline::Gao,
+            Baseline::XiaGao,
+            Baseline::Sark,
+            Baseline::Degree,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asrank_types::{AsPath, Asn, Ipv4Prefix, PathSample};
+
+    #[test]
+    fn every_baseline_runs_on_a_tiny_input() {
+        let ps: PathSet = [PathSample {
+            vp: Asn(9),
+            prefix: "10.0.0.0/24".parse::<Ipv4Prefix>().unwrap(),
+            path: AsPath::from_u32s([9, 1, 5]),
+        }]
+        .into_iter()
+        .collect();
+        for b in Baseline::all() {
+            let rels = b.run(&ps);
+            assert!(rels.len() <= 2, "{} produced too many links", b.name());
+            assert!(!b.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Bench: baseline inference algorithms vs. ASRank on identical inputs
+//! (the cost side of experiment E4).
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_baselines::Baseline;
+use asrank_core::pipeline::{infer, InferenceConfig};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_baselines(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::small(), 7);
+    let mut cfg = SimConfig::defaults(7);
+    cfg.vp_selection = VpSelection::Count(20);
+    let sim = simulate(&topo, &cfg);
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("infer", "asrank"), |b| {
+        b.iter(|| black_box(infer(&sim.paths, &InferenceConfig::default())))
+    });
+    for baseline in Baseline::all() {
+        group.bench_function(BenchmarkId::new("infer", baseline.name()), |b| {
+            b.iter(|| black_box(baseline.run(&sim.paths)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

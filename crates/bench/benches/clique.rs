@@ -1,0 +1,34 @@
+//! Bench: S2+S3 — degree computation and Bron-Kerbosch clique inference.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::{infer_clique, sanitize, CliqueConfig, DegreeTable, SanitizeConfig};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_clique(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique");
+    group.sample_size(20);
+    for (name, factor) in [("1k", 1.0), ("2k", 2.0)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 2);
+        let mut cfg = SimConfig::defaults(2);
+        cfg.vp_selection = VpSelection::Count(20);
+        let sim = simulate(&topo, &cfg);
+        let clean = sanitize(&sim.paths, &SanitizeConfig::default());
+        group.bench_with_input(BenchmarkId::new("degrees", name), &clean, |b, clean| {
+            b.iter(|| black_box(DegreeTable::compute(clean)))
+        });
+        let degrees = DegreeTable::compute(&clean);
+        group.bench_with_input(
+            BenchmarkId::new("bron_kerbosch", name),
+            &(&clean, &degrees),
+            |b, (clean, degrees)| {
+                b.iter(|| black_box(infer_clique(clean, degrees, &CliqueConfig::default())))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clique);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench: the three customer-cone computations.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::cone::CustomerCones;
+use asrank_core::pipeline::{infer, InferenceConfig};
+use asrank_core::{sanitize, SanitizeConfig};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_cones(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cones");
+    group.sample_size(10);
+    for (name, factor) in [("1k", 1.0), ("2k", 2.0)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 4);
+        let mut cfg = SimConfig::defaults(4);
+        cfg.vp_selection = VpSelection::Count(20);
+        let sim = simulate(&topo, &cfg);
+        let inference = infer(&sim.paths, &InferenceConfig::default());
+        let clean = sanitize(&sim.paths, &SanitizeConfig::default());
+        let rels = &inference.relationships;
+        group.bench_with_input(BenchmarkId::new("recursive", name), rels, |b, rels| {
+            b.iter(|| black_box(CustomerCones::recursive(rels, None)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("bgp_observed", name),
+            &(&clean, rels),
+            |b, (clean, rels)| b.iter(|| black_box(CustomerCones::bgp_observed(clean, rels, None))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("provider_peer", name),
+            &(&clean, rels),
+            |b, (clean, rels)| {
+                b.iter(|| black_box(CustomerCones::provider_peer_observed(clean, rels, None)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cones);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Bench: MRT encode/decode throughput on RIB dumps.
+
+use as_topology_gen::{generate, TopologyConfig};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mrt_codec::{read_rib_dump, write_rib_dump};
+use std::hint::black_box;
+
+fn bench_mrt(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::small(), 6);
+    let mut cfg = SimConfig::defaults(6);
+    cfg.vp_selection = VpSelection::Count(20);
+    let sim = simulate(&topo, &cfg);
+    let mut encoded = Vec::new();
+    write_rib_dump(&sim.paths, &mut encoded, 0).unwrap();
+
+    let mut group = c.benchmark_group("mrt");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode_rib_dump", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            write_rib_dump(black_box(&sim.paths), &mut buf, 0).unwrap();
+            black_box(buf)
+        })
+    });
+    group.bench_function("decode_rib_dump", |b| {
+        b.iter(|| black_box(read_rib_dump(black_box(&encoded[..])).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mrt);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: the full ASRank pipeline (S1–S11) vs. topology size —
+//! experiment E12's main series.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::pipeline::{infer, InferenceConfig};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    for (name, factor, vps) in [("500", 0.5, 15), ("1k", 1.0, 20), ("2k", 2.0, 25)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 3);
+        let mut cfg = SimConfig::defaults(3);
+        cfg.vp_selection = VpSelection::Count(vps);
+        let sim = simulate(&topo, &cfg);
+        let ixps: Vec<_> = topo.ixps.iter().map(|i| i.route_server).collect();
+        let icfg = InferenceConfig::with_ixps(ixps);
+        group.throughput(Throughput::Elements(sim.paths.len() as u64));
+        group.bench_with_input(BenchmarkId::new("infer", name), &sim.paths, |b, paths| {
+            b.iter(|| black_box(infer(paths, &icfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Bench: per-destination Gao-Rexford route propagation — the
+//! simulator's hot loop.
+
+use as_topology_gen::{generate, TopologyConfig};
+use bgp_sim::{propagate::compute_route_tree, PolicyGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(20);
+    for (name, factor) in [("1k", 1.0), ("4k", 4.0)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 5);
+        let g = PolicyGraph::new(&topo.ground_truth);
+        let dests: Vec<u32> = (0..g.len() as u32).step_by(97).take(16).collect();
+        group.throughput(Throughput::Elements(dests.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("route_tree", name),
+            &(&g, &dests),
+            |b, (g, dests)| {
+                b.iter(|| {
+                    for &d in dests.iter() {
+                        black_box(compute_route_tree(g, d, None));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

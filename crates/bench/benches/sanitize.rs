@@ -1,0 +1,31 @@
+//! Bench: S1 path sanitization throughput vs. dataset size and artifact
+//! density.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::{sanitize, SanitizeConfig};
+use bgp_sim::{simulate, AnomalyConfig, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_sanitize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sanitize");
+    group.sample_size(20);
+    for (name, factor) in [("1k", 1.0), ("2k", 2.0)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 1);
+        let clique = topo.ground_truth.clique();
+        let mut cfg = SimConfig::defaults(1);
+        cfg.vp_selection = VpSelection::Count(20);
+        cfg.anomalies = AnomalyConfig::realistic(clique);
+        let sim = simulate(&topo, &cfg);
+        let ixps: Vec<_> = topo.ixps.iter().map(|i| i.route_server).collect();
+        let scfg = SanitizeConfig::with_ixps(ixps);
+        group.throughput(Throughput::Elements(sim.paths.len() as u64));
+        group.bench_with_input(BenchmarkId::new("paths", name), &sim.paths, |b, paths| {
+            b.iter(|| black_box(sanitize(paths, &scfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sanitize);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench: jackknife stability (many re-inferences) — the most expensive
+//! analysis in the toolbox.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::stability::jackknife;
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_stability(c: &mut Criterion) {
+    let topo = generate(&TopologyConfig::tiny(), 8);
+    let mut cfg = SimConfig::defaults(8);
+    cfg.vp_selection = VpSelection::Count(10);
+    let sim = simulate(&topo, &cfg);
+
+    let mut group = c.benchmark_group("stability");
+    group.sample_size(10);
+    for subsamples in [4usize, 8] {
+        group.bench_function(format!("jackknife_{subsamples}"), |b| {
+            b.iter(|| {
+                black_box(jackknife(
+                    &sim.paths,
+                    &InferenceConfig::default(),
+                    subsamples,
+                    1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stability);
+criterion_main!(benches);

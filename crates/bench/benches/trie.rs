@@ -1,0 +1,51 @@
+//! Bench: longest-prefix-match trie vs. a naive linear scan.
+
+use asrank_types::{Ipv4Prefix, PrefixTrie};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn build(n: u32) -> (PrefixTrie<u32>, Vec<(Ipv4Prefix, u32)>) {
+    let entries: Vec<(Ipv4Prefix, u32)> = (0..n)
+        .map(|i| {
+            let len = 12 + (i % 13) as u8; // /12../24
+            (Ipv4Prefix::new(i.wrapping_mul(2654435761), len).unwrap(), i)
+        })
+        .collect();
+    let trie: PrefixTrie<u32> = entries.iter().copied().collect();
+    (trie, entries)
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_lpm");
+    group.sample_size(20);
+    for n in [10_000u32, 100_000] {
+        let (trie, entries) = build(n);
+        let queries: Vec<u32> = (0..1_000u32).map(|i| i.wrapping_mul(40503)).collect();
+        group.throughput(Throughput::Elements(queries.len() as u64));
+        group.bench_with_input(BenchmarkId::new("trie", n), &queries, |b, qs| {
+            b.iter(|| {
+                for &q in qs {
+                    black_box(trie.lookup_addr(q));
+                }
+            })
+        });
+        if n <= 10_000 {
+            group.bench_with_input(BenchmarkId::new("linear", n), &queries, |b, qs| {
+                b.iter(|| {
+                    for &q in qs {
+                        black_box(
+                            entries
+                                .iter()
+                                .filter(|(p, _)| p.contains_addr(q))
+                                .max_by_key(|(p, _)| p.len()),
+                        );
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trie);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! `report` — regenerate any experiment table/figure analog.
+//!
+//! Usage:
+//! ```text
+//! report <e1|e2|…|e11|all> [--scale tiny|small|medium|internet] [--seed N]
+//! ```
+
+use asrank_bench::experiments;
+use asrank_bench::harness::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut id: Option<String> = None;
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match Scale::parse(v) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale {v:?} (tiny|small|medium|internet)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                let v = it.next().map(String::as_str).unwrap_or("");
+                match v.parse() {
+                    Ok(s) => seed = s,
+                    Err(_) => {
+                        eprintln!("invalid seed {v:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            other if id.is_none() => id = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(id) = id else {
+        eprintln!("usage: report <e1..e11|all> [--scale tiny|small|medium|internet] [--seed N]");
+        std::process::exit(2);
+    };
+
+    let ids: Vec<&str> = if id == "all" {
+        experiments::ALL.to_vec()
+    } else {
+        vec![id.as_str()]
+    };
+    for (i, id) in ids.iter().enumerate() {
+        match experiments::run(id, scale, seed) {
+            Some(out) => {
+                if i > 0 {
+                    println!("\n{}\n", "=".repeat(72));
+                }
+                println!("{out}");
+            }
+            None => {
+                eprintln!("unknown experiment {id:?} (e1..e11 or all)");
+                std::process::exit(2);
+            }
+        }
+    }
+}

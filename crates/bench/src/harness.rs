@@ -1,0 +1,169 @@
+//! Shared experiment harness: one place that generates a topology,
+//! simulates BGP over it, runs the inference pipeline, and builds the
+//! validation corpus — so every experiment starts from the same
+//! reproducible state.
+
+use as_topology_gen::{generate, GeneratedTopology, TopologyConfig};
+use asrank_core::pipeline::{infer, Inference, InferenceConfig};
+use asrank_types::prelude::*;
+use asrank_validation::{build_corpus, CorpusConfig, ValidationCorpus};
+use bgp_sim::{simulate, AnomalyConfig, SimConfig, SimOutput, VpSelection};
+
+/// Experiment scale, mapped to topology presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~60 ASes — smoke tests.
+    Tiny,
+    /// ~1 000 ASes — default for reports.
+    Small,
+    /// ~10 000 ASes.
+    Medium,
+    /// ~42 000 ASes (the paper's 2013 Internet). Destination-sampled.
+    Internet,
+}
+
+impl Scale {
+    /// Parse from a CLI string.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "internet" => Some(Scale::Internet),
+            _ => None,
+        }
+    }
+
+    /// The topology preset for this scale.
+    pub fn topology(&self) -> TopologyConfig {
+        match self {
+            Scale::Tiny => TopologyConfig::tiny(),
+            Scale::Small => TopologyConfig::small(),
+            Scale::Medium => TopologyConfig::medium(),
+            Scale::Internet => TopologyConfig::internet_2013(),
+        }
+    }
+}
+
+/// A full experiment scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Topology to generate.
+    pub topology: TopologyConfig,
+    /// Number of vantage points.
+    pub vps: usize,
+    /// Fraction of full-feed VPs.
+    pub full_feed: f64,
+    /// Artifact injection.
+    pub anomalies: AnomalyConfig,
+    /// Optional cap on propagated destinations.
+    pub destination_sample: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Default scenario at a given scale: paper-like VP counts scaled to
+    /// topology size, clean paths.
+    pub fn at_scale(scale: Scale, seed: u64) -> Self {
+        let (vps, sample) = match scale {
+            Scale::Tiny => (8, None),
+            Scale::Small => (30, None),
+            Scale::Medium => (120, Some(4_000)),
+            Scale::Internet => (315, Some(6_000)),
+        };
+        Scenario {
+            topology: scale.topology(),
+            vps,
+            full_feed: 116.0 / 315.0,
+            anomalies: AnomalyConfig::none(),
+            destination_sample: sample,
+            seed,
+        }
+    }
+}
+
+/// Everything an experiment needs, built once.
+#[derive(Debug)]
+pub struct Workbench {
+    /// The scenario that produced this workbench.
+    pub scenario: Scenario,
+    /// Generated topology with ground truth.
+    pub topo: GeneratedTopology,
+    /// Simulated BGP collection.
+    pub sim: SimOutput,
+    /// ASRank inference over the simulated paths.
+    pub inference: Inference,
+    /// Emulated validation corpus.
+    pub corpus: ValidationCorpus,
+}
+
+impl Workbench {
+    /// Build the full chain: generate → simulate → infer → corpus.
+    pub fn build(scenario: Scenario) -> Self {
+        let topo = generate(&scenario.topology, scenario.seed);
+        let sim_cfg = SimConfig {
+            vp_selection: VpSelection::Count(scenario.vps),
+            full_feed_fraction: scenario.full_feed,
+            anomalies: scenario.anomalies.clone(),
+            destination_sample: scenario.destination_sample,
+            threads: 0,
+            seed: scenario.seed,
+        };
+        let sim = simulate(&topo, &sim_cfg);
+        let ixps: Vec<Asn> = topo.ixps.iter().map(|i| i.route_server).collect();
+        let inference = infer(&sim.paths, &InferenceConfig::with_ixps(ixps));
+        let corpus = build_corpus(&topo.ground_truth, &CorpusConfig::paper_like(scenario.seed));
+        Workbench {
+            scenario,
+            topo,
+            sim,
+            inference,
+            corpus,
+        }
+    }
+
+    /// Re-run only the simulation + inference with a different VP count
+    /// (used by the sensitivity sweep; topology and corpus stay fixed).
+    pub fn with_vps(&self, vps: usize) -> (SimOutput, Inference) {
+        let sim_cfg = SimConfig {
+            vp_selection: VpSelection::Count(vps),
+            full_feed_fraction: self.scenario.full_feed,
+            anomalies: self.scenario.anomalies.clone(),
+            destination_sample: self.scenario.destination_sample,
+            threads: 0,
+            seed: self.scenario.seed,
+        };
+        let sim = simulate(&self.topo, &sim_cfg);
+        let ixps: Vec<Asn> = self.topo.ixps.iter().map(|i| i.route_server).collect();
+        let inference = infer(&sim.paths, &InferenceConfig::with_ixps(ixps));
+        (sim, inference)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("internet"), Some(Scale::Internet));
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn workbench_builds_at_tiny_scale() {
+        let wb = Workbench::build(Scenario::at_scale(Scale::Tiny, 3));
+        assert!(!wb.sim.paths.is_empty());
+        assert!(!wb.inference.relationships.is_empty());
+        assert!(!wb.corpus.is_empty());
+    }
+
+    #[test]
+    fn vp_override_changes_collection() {
+        let wb = Workbench::build(Scenario::at_scale(Scale::Tiny, 4));
+        let (sim2, _) = wb.with_vps(2);
+        assert!(sim2.paths.vantage_points().len() <= 2);
+    }
+}

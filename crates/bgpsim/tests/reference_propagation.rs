@@ -1,0 +1,147 @@
+//! Cross-validation of the optimized three-stage propagation against a
+//! slow, obviously-correct reference: a fixpoint iteration that applies
+//! the Gao-Rexford export and preference rules literally. On random
+//! hierarchies, both must agree on reachability, preference class, and
+//! AS-path length for every (node, destination) pair — only the
+//! tie-broken parent may differ.
+
+use asrank_types::prelude::*;
+use bgp_sim::propagate::{compute_route_tree, PrefClass};
+use bgp_sim::PolicyGraph;
+use proptest::prelude::*;
+
+/// A random acyclic transit hierarchy: node i > 0 buys transit from 1–2
+/// lower-numbered nodes; random peer links are sprinkled on top.
+fn arb_topology() -> impl Strategy<Value = GroundTruth> {
+    (3usize..18, any::<u64>()).prop_map(|(n, seed)| {
+        let mut s = seed;
+        let mut next = move || {
+            s = s
+                .wrapping_add(0x9e3779b97f4a7c15)
+                .wrapping_mul(0xbf58476d1ce4e5b9);
+            s ^ (s >> 31)
+        };
+        let mut gt = GroundTruth::default();
+        for i in 0..n as u32 {
+            gt.classes.insert(Asn(i + 1), AsClass::Stub);
+        }
+        // c2p edges toward lower indices (acyclic by construction).
+        for i in 1..n as u32 {
+            let homes = 1 + (next() % 2) as u32;
+            for _ in 0..homes {
+                let p = (next() % i as u64) as u32 + 1;
+                if p != i + 1 {
+                    gt.relationships.insert_c2p(Asn(i + 1), Asn(p));
+                }
+            }
+        }
+        // A few random peerings between unrelated pairs.
+        for _ in 0..n / 3 {
+            let a = (next() % n as u64) as u32 + 1;
+            let b = (next() % n as u64) as u32 + 1;
+            if a != b && gt.relationships.get(Asn(a), Asn(b)).is_none() {
+                gt.relationships.insert_p2p(Asn(a), Asn(b));
+            }
+        }
+        gt
+    })
+}
+
+/// Reference route state: (preference rank, hops). Lower is better;
+/// pref rank: 0 = origin/customer, 1 = peer, 2 = provider.
+type RefRoute = Option<(u8, u16)>;
+
+fn pref_rank(p: PrefClass) -> u8 {
+    match p {
+        PrefClass::Origin | PrefClass::Customer => 0,
+        PrefClass::Peer => 1,
+        PrefClass::Provider => 2,
+    }
+}
+
+/// Literal Gao-Rexford fixpoint: synchronous best-response iteration.
+///
+/// Each round recomputes every node's best route *from scratch* out of
+/// its neighbors' current routes — monotone "improve only" updates would
+/// keep stale routes whose upstream later switched to a more-preferred
+/// but longer path (real BGP retracts those). Gao-Rexford preferences
+/// are dispute-free, so this iteration converges.
+fn reference_routes(gt: &GroundTruth, dest: Asn) -> std::collections::HashMap<Asn, (u8, u16)> {
+    use std::collections::HashMap;
+    let adj = gt.relationships.adjacency();
+    let mut ases: Vec<Asn> = gt.classes.keys().copied().collect();
+    ases.sort();
+    let mut routes: HashMap<Asn, (u8, u16)> = HashMap::new();
+    routes.insert(dest, (0, 0));
+
+    let n = gt.classes.len();
+    for _ in 0..=2 * n + 4 {
+        let mut next: HashMap<Asn, (u8, u16)> = HashMap::new();
+        next.insert(dest, (0, 0));
+        for &me in &ases {
+            if me == dest {
+                continue;
+            }
+            let Some(neigh) = adj.get(&me) else { continue };
+            let mut best: Option<(u8, u16)> = None;
+            for &(nb, orientation) in neigh {
+                let Some(&(nb_rank, nb_hops)) = routes.get(&nb) else {
+                    continue;
+                };
+                // Export rule: nb sends me its best route iff nb learned
+                // it from a customer or originated it (nb_rank == 0), or
+                // I am nb's customer (nb is my provider).
+                let i_am_customer = orientation == Orientation::Provider;
+                if nb_rank != 0 && !i_am_customer {
+                    continue;
+                }
+                let my_rank = match orientation {
+                    Orientation::Customer => 0, // nb is my customer
+                    Orientation::Sibling => 0,  // siblings excluded here
+                    Orientation::Peer => 1,
+                    Orientation::Provider => 2,
+                };
+                let cand = (my_rank, nb_hops + 1);
+                if best.is_none() || cand < best.unwrap() {
+                    best = Some(cand);
+                }
+            }
+            if let Some(b) = best {
+                next.insert(me, b);
+            }
+        }
+        let stable = next == routes;
+        routes = next;
+        if stable {
+            break;
+        }
+    }
+    routes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn three_stage_matches_reference_fixpoint(gt in arb_topology()) {
+        let g = PolicyGraph::new(&gt);
+        let mut dests: Vec<Asn> = gt.classes.keys().copied().collect();
+        dests.sort();
+        for &dest in &dests {
+            let Some(dest_id) = g.id(dest) else { continue };
+            let tree = compute_route_tree(&g, dest_id, None);
+            let reference = reference_routes(&gt, dest);
+            for (&asn, _) in &gt.classes {
+                let id = g.id(asn).unwrap();
+                let fast: RefRoute = tree
+                    .route(id)
+                    .map(|r| (pref_rank(r.pref), r.hops));
+                let slow: RefRoute = reference.get(&asn).copied();
+                prop_assert_eq!(
+                    fast, slow,
+                    "disagreement at {} for dest {}: fast={:?} slow={:?}",
+                    asn, dest, fast, slow
+                );
+            }
+        }
+    }
+}

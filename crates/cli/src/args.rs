@@ -1,0 +1,83 @@
+//! Tiny `--flag value` argument parser (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed flags: every argument must be a `--name value` pair.
+pub struct Flags {
+    values: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parse; prints an error and returns `None` on malformed input.
+    pub fn parse(args: &[String]) -> Option<Flags> {
+        let mut values = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                eprintln!("expected --flag, got {a:?}");
+                return None;
+            };
+            let Some(v) = it.next() else {
+                eprintln!("flag --{name} is missing a value");
+                return None;
+            };
+            values.insert(name.to_string(), v.clone());
+        }
+        Some(Flags { values })
+    }
+
+    /// Required string flag.
+    pub fn required(&self, name: &str) -> Option<&str> {
+        let v = self.values.get(name).map(String::as_str);
+        if v.is_none() {
+            eprintln!("missing required flag --{name}");
+        }
+        v
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Optional parsed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Option<T> {
+        match self.values.get(name) {
+            None => Some(default),
+            Some(v) => match v.parse() {
+                Ok(x) => Some(x),
+                Err(_) => {
+                    eprintln!("invalid value for --{name}: {v:?}");
+                    None
+                }
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let f = Flags::parse(&sv(&["--a", "1", "--b", "x"])).unwrap();
+        assert_eq!(f.required("a"), Some("1"));
+        assert_eq!(f.get("b"), Some("x"));
+        assert_eq!(f.get("c"), None);
+        assert_eq!(f.get_or("a", 0u32), Some(1));
+        assert_eq!(f.get_or("missing", 7u32), Some(7));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Flags::parse(&sv(&["positional"])).is_none());
+        assert!(Flags::parse(&sv(&["--dangling"])).is_none());
+        let f = Flags::parse(&sv(&["--n", "abc"])).unwrap();
+        assert_eq!(f.get_or::<u32>("n", 0), None);
+    }
+}

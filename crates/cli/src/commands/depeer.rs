@@ -1,0 +1,88 @@
+//! `asrank depeer` — simulate a depeering/link-failure event over a
+//! topology bundle and write the resulting BGP4MP update stream.
+
+use crate::args::Flags;
+use as_topology_gen::load_bundle;
+use asrank_types::Asn;
+use bgp_sim::{simulate_event, RoutingEvent, SimConfig, VpSelection};
+use mrt_codec::write_update_stream;
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(topo_dir) = flags.required("topo") else {
+        return 2;
+    };
+    let Some(a) = flags.get_or("a", 0u32) else {
+        return 2;
+    };
+    let Some(b) = flags.get_or("b", 0u32) else {
+        return 2;
+    };
+    let Some(vps) = flags.get_or("vps", 25usize) else {
+        return 2;
+    };
+    let Some(seed) = flags.get_or("seed", 42u64) else {
+        return 2;
+    };
+
+    let topo = match load_bundle(&PathBuf::from(topo_dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load bundle: {e}");
+            return 1;
+        }
+    };
+
+    // Default to severing the two lowest-numbered clique members.
+    let (a, b) = if a != 0 && b != 0 {
+        (Asn(a), Asn(b))
+    } else {
+        let clique = topo.ground_truth.clique();
+        if clique.len() < 2 {
+            eprintln!("no clique pair to depeer; pass --a and --b explicitly");
+            return 2;
+        }
+        (clique[0], clique[1])
+    };
+    if topo.ground_truth.relationships.get(a, b).is_none() {
+        eprintln!("no {a}–{b} link in this topology");
+        return 2;
+    }
+
+    let mut cfg = SimConfig::defaults(seed);
+    cfg.vp_selection = VpSelection::Count(vps);
+    cfg.full_feed_fraction = 1.0;
+    let (before, after, updates) = simulate_event(&topo, RoutingEvent::LinkDown { a, b }, &cfg);
+
+    let announced: usize = updates.iter().map(|m| m.announced.len()).sum();
+    let withdrawn: usize = updates.iter().map(|m| m.withdrawn.len()).sum();
+    println!(
+        "severed {a} ↔ {b}: {} VPs affected, {announced} re-announcements, {withdrawn} withdrawals",
+        updates.len()
+    );
+    println!(
+        "unreachable (VP, destination) pairs: {} → {}",
+        before.stats.unreachable_pairs, after.stats.unreachable_pairs
+    );
+
+    if let Some(out) = flags.get("out") {
+        let file = match std::fs::File::create(out) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {out}: {e}");
+                return 1;
+            }
+        };
+        match write_update_stream(&updates, std::io::BufWriter::new(file), seed as u32) {
+            Ok(n) => println!("wrote {n} BGP4MP records to {out}"),
+            Err(e) => {
+                eprintln!("failed writing update stream: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

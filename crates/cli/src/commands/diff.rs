@@ -1,0 +1,70 @@
+//! `asrank diff` — compare two as-rel files (e.g. two monthly snapshots
+//! or two inference runs) and report the delta.
+
+use crate::args::Flags;
+use asrank_core::{diff_relationships, read_as_rel};
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(old_path) = flags.required("old") else {
+        return 2;
+    };
+    let Some(new_path) = flags.required("new") else {
+        return 2;
+    };
+    let Some(show) = flags.get_or("show", 10usize) else {
+        return 2;
+    };
+
+    let load = |path: &str| -> Option<asrank_types::RelationshipMap> {
+        let file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot open {path}: {e}");
+                return None;
+            }
+        };
+        match read_as_rel(std::io::BufReader::new(file)) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("failed parsing {path}: {e}");
+                None
+            }
+        }
+    };
+    let Some(old) = load(old_path) else { return 1 };
+    let Some(new) = load(new_path) else { return 1 };
+
+    let d = diff_relationships(&old, &new);
+    println!(
+        "links: {} → {}   unchanged {}   added {}   removed {}   changed {}   stability {:.1}%",
+        old.len(),
+        new.len(),
+        d.unchanged,
+        d.added.len(),
+        d.removed.len(),
+        d.changed.len(),
+        100.0 * d.stability(),
+    );
+    if !d.changed.is_empty() {
+        println!("\nchanged (first {show}):");
+        for c in d.changed.iter().take(show) {
+            println!("  {}: {:?} → {:?}", c.link, c.before, c.after);
+        }
+    }
+    if !d.added.is_empty() {
+        println!("\nadded (first {show}):");
+        for (l, r) in d.added.iter().take(show) {
+            println!("  {l}: {r:?}");
+        }
+    }
+    if !d.removed.is_empty() {
+        println!("\nremoved (first {show}):");
+        for (l, r) in d.removed.iter().take(show) {
+            println!("  {l}: {r:?}");
+        }
+    }
+    0
+}

@@ -1,0 +1,55 @@
+//! `asrank generate` — create a ground-truth topology bundle.
+
+use crate::args::Flags;
+use as_topology_gen::{generate, save_bundle, TopologyConfig, TopologyStats};
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(scale) = flags.get("scale").or(Some("small")) else {
+        return 2;
+    };
+    let config = match scale {
+        "tiny" => TopologyConfig::tiny(),
+        "small" => TopologyConfig::small(),
+        "medium" => TopologyConfig::medium(),
+        "internet" => TopologyConfig::internet_2013(),
+        other => {
+            eprintln!("unknown scale {other:?} (tiny|small|medium|internet)");
+            return 2;
+        }
+    };
+    let Some(seed) = flags.get_or("seed", 42u64) else {
+        return 2;
+    };
+    let Some(out) = flags.required("out") else {
+        return 2;
+    };
+    let out = PathBuf::from(out);
+
+    let topo = generate(&config, seed);
+    let problems = topo.ground_truth.check_invariants();
+    if !problems.is_empty() {
+        eprintln!("generated topology failed invariants: {problems:?}");
+        return 1;
+    }
+    if let Err(e) = save_bundle(&topo, &out) {
+        eprintln!("failed to save bundle: {e}");
+        return 1;
+    }
+    let stats = TopologyStats::compute(&topo.ground_truth);
+    println!(
+        "wrote {} ({} ASes, {} links [{} c2p / {} p2p / {} s2s], {} prefixes, clique {:?})",
+        out.display(),
+        stats.as_count,
+        stats.link_count,
+        stats.link_kinds.0,
+        stats.link_kinds.1,
+        stats.link_kinds.2,
+        topo.ground_truth.prefix_count(),
+        topo.ground_truth.clique(),
+    );
+    0
+}

@@ -1,0 +1,87 @@
+//! `asrank infer` — run the ASRank pipeline over an MRT RIB file.
+
+use crate::args::Flags;
+use as_topology_gen::load_bundle;
+use asrank_core::pipeline::{infer, InferenceConfig};
+use asrank_core::write_as_rel;
+use asrank_types::Asn;
+use mrt_codec::read_rib_dump;
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(rib) = flags.required("rib") else {
+        return 2;
+    };
+
+    let file = match std::fs::File::open(rib) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {rib}: {e}");
+            return 1;
+        }
+    };
+    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("failed reading MRT: {e}");
+            return 1;
+        }
+    };
+
+    // IXP route-server list from the bundle, when provided.
+    let mut cfg = InferenceConfig::default();
+    if let Some(dir) = flags.get("topo") {
+        match load_bundle(&PathBuf::from(dir)) {
+            Ok(t) => {
+                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
+                cfg = InferenceConfig::with_ixps(ixps);
+            }
+            Err(e) => {
+                eprintln!("failed to load bundle for IXP list: {e}");
+                return 1;
+            }
+        }
+    }
+
+    let inference = infer(&paths, &cfg);
+    let (c2p, p2p, s2s) = inference.relationships.counts();
+    println!(
+        "paths: {} in / {} clean; links classified: {} ({c2p} c2p, {p2p} p2p, {s2s} s2s)",
+        inference.report.sanitize.input_paths,
+        inference.report.sanitize.output_paths,
+        inference.report.total_links,
+    );
+    println!("clique: {:?}", inference.clique);
+    println!(
+        "steps: topdown {} | vp {} | repair {} | stub-clique {} | provider-less {} | p2p {} | conflicts {} | cycles {}",
+        inference.report.c2p_from_topdown,
+        inference.report.c2p_from_vps,
+        inference.report.repaired_anomalies,
+        inference.report.c2p_stub_clique,
+        inference.report.c2p_providerless,
+        inference.report.p2p_assigned,
+        inference.report.conflicts,
+        inference.report.cycle_links,
+    );
+
+    if let Some(out) = flags.get("out") {
+        let file = match std::fs::File::create(out) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("cannot create {out}: {e}");
+                return 1;
+            }
+        };
+        match write_as_rel(&inference.relationships, std::io::BufWriter::new(file)) {
+            Ok(n) => println!("wrote {n} relationships to {out}"),
+            Err(e) => {
+                eprintln!("failed writing as-rel: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}

@@ -1,0 +1,72 @@
+//! `asrank info` — inspect an MRT file: record type histogram, peers,
+//! prefix counts, timestamp range.
+
+use crate::args::Flags;
+use mrt_codec::{MrtReader, MrtRecord};
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(path) = flags.required("rib") else {
+        return 2;
+    };
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return 1;
+        }
+    };
+    let mut reader = MrtReader::new(std::io::BufReader::new(file));
+    let (mut peer_tables, mut rib4, mut rib6, mut td1, mut updates, mut unknown) =
+        (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let mut rib_entries = 0u64;
+    let mut peers = 0usize;
+    let (mut ts_min, mut ts_max) = (u32::MAX, 0u32);
+    loop {
+        match reader.next_record() {
+            Ok(Some((ts, rec))) => {
+                ts_min = ts_min.min(ts);
+                ts_max = ts_max.max(ts);
+                match rec {
+                    MrtRecord::PeerIndexTable(t) => {
+                        peer_tables += 1;
+                        peers = peers.max(t.peers.len());
+                    }
+                    MrtRecord::RibIpv4Unicast(r) => {
+                        rib4 += 1;
+                        rib_entries += r.entries.len() as u64;
+                    }
+                    MrtRecord::RibIpv6Unicast(r) => {
+                        rib6 += 1;
+                        rib_entries += r.entries.len() as u64;
+                    }
+                    MrtRecord::TableDumpV1(_) => {
+                        td1 += 1;
+                        rib_entries += 1;
+                    }
+                    MrtRecord::Bgp4mpMessageAs4(_) => updates += 1,
+                    MrtRecord::Unknown { .. } => unknown += 1,
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                eprintln!("parse error after {rib4 } v4 RIB records: {e}");
+                return 1;
+            }
+        }
+    }
+    println!("records:");
+    println!("  PEER_INDEX_TABLE   {peer_tables}  (largest peer table: {peers})");
+    println!("  RIB_IPV4_UNICAST   {rib4}");
+    println!("  RIB_IPV6_UNICAST   {rib6}");
+    println!("  TABLE_DUMP (v1)    {td1}");
+    println!("  BGP4MP updates     {updates}");
+    println!("  unknown            {unknown}");
+    println!("RIB entries total:   {rib_entries}");
+    if ts_min <= ts_max {
+        println!("timestamps:          {ts_min} … {ts_max}");
+    }
+    0
+}

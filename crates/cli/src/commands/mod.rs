@@ -1,0 +1,12 @@
+//! Subcommand implementations. Each returns a process exit code.
+
+pub mod depeer;
+pub mod diff;
+pub mod generate;
+pub mod infer;
+pub mod info;
+pub mod rank;
+pub mod realism;
+pub mod simulate;
+pub mod stability;
+pub mod validate;

@@ -1,0 +1,77 @@
+//! `asrank rank` — infer from an MRT file and print the AS ranking by
+//! customer cone (the paper's public artifact).
+
+use crate::args::Flags;
+use as_topology_gen::load_bundle;
+use asrank_core::cone::ConeSets;
+use asrank_core::pipeline::{infer, InferenceConfig};
+use asrank_core::{rank_ases, sanitize};
+use asrank_types::Asn;
+use mrt_codec::read_rib_dump;
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(rib) = flags.required("rib") else {
+        return 2;
+    };
+    let Some(top) = flags.get_or("top", 10usize) else {
+        return 2;
+    };
+
+    let file = match std::fs::File::open(rib) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {rib}: {e}");
+            return 1;
+        }
+    };
+    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("failed reading MRT: {e}");
+            return 1;
+        }
+    };
+
+    let (cfg, prefixes) = match flags.get("topo") {
+        Some(dir) => match load_bundle(&PathBuf::from(dir)) {
+            Ok(t) => {
+                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
+                (
+                    InferenceConfig::with_ixps(ixps),
+                    Some(t.ground_truth.prefixes),
+                )
+            }
+            Err(e) => {
+                eprintln!("failed to load bundle: {e}");
+                return 1;
+            }
+        },
+        None => (InferenceConfig::default(), None),
+    };
+
+    let inference = infer(&paths, &cfg);
+    let clean = sanitize(&paths, &cfg.sanitize);
+    let cones = ConeSets::compute(&clean, &inference.relationships, prefixes.as_ref());
+    let ranked = rank_ases(&cones.recursive, &inference.degrees);
+
+    println!(
+        "{:>5}  {:>10}  {:>10}  {:>10}  {:>14}  {:>8}",
+        "rank", "asn", "cone ASes", "prefixes", "addresses", "degree"
+    );
+    for row in ranked.iter().take(top) {
+        println!(
+            "{:>5}  {:>10}  {:>10}  {:>10}  {:>14}  {:>8}",
+            row.rank,
+            row.asn.to_string(),
+            row.cone.ases,
+            row.cone.prefixes,
+            row.cone.addresses,
+            row.transit_degree
+        );
+    }
+    0
+}

@@ -1,0 +1,38 @@
+//! `asrank realism` — check a topology bundle against published Internet
+//! structure facts.
+
+use crate::args::Flags;
+use as_topology_gen::{check_realism, load_bundle};
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(topo_dir) = flags.required("topo") else {
+        return 2;
+    };
+    let topo = match load_bundle(&PathBuf::from(topo_dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load bundle: {e}");
+            return 1;
+        }
+    };
+    let report = check_realism(&topo.ground_truth);
+    for c in &report.checks {
+        println!(
+            "{} {:40} {:8.3}  (accepted {:.2}–{:.2})",
+            if c.ok() { "ok  " } else { "FAIL" },
+            c.name,
+            c.value,
+            c.range.0,
+            c.range.1
+        );
+    }
+    if report.all_ok() {
+        0
+    } else {
+        1
+    }
+}

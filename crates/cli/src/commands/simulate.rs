@@ -1,0 +1,92 @@
+//! `asrank simulate` — run the BGP simulator over a bundle and export a
+//! TABLE_DUMP_V2 RIB file.
+
+use crate::args::Flags;
+use as_topology_gen::load_bundle;
+use bgp_sim::{simulate, AnomalyConfig, SimConfig, VpSelection};
+use mrt_codec::write_rib_dump;
+use std::path::PathBuf;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(topo_dir) = flags.required("topo") else {
+        return 2;
+    };
+    let Some(out) = flags.required("out") else {
+        return 2;
+    };
+    let Some(vps) = flags.get_or("vps", 30usize) else {
+        return 2;
+    };
+    let Some(full_feed) = flags.get_or("full-feed", 116.0 / 315.0) else {
+        return 2;
+    };
+    let Some(seed) = flags.get_or("seed", 42u64) else {
+        return 2;
+    };
+    let dest_sample = match flags.get("dest-sample") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("invalid --dest-sample {v:?}");
+                return 2;
+            }
+        },
+    };
+
+    let topo = match load_bundle(&PathBuf::from(topo_dir)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to load bundle: {e}");
+            return 1;
+        }
+    };
+    let anomalies = match flags.get("anomalies").unwrap_or("none") {
+        "none" => AnomalyConfig::none(),
+        "realistic" => AnomalyConfig::realistic(topo.ground_truth.clique()),
+        other => {
+            eprintln!("unknown anomaly preset {other:?} (none|realistic)");
+            return 2;
+        }
+    };
+
+    let sim = simulate(
+        &topo,
+        &SimConfig {
+            vp_selection: VpSelection::Count(vps),
+            full_feed_fraction: full_feed,
+            anomalies,
+            destination_sample: dest_sample,
+            threads: 0,
+            seed,
+        },
+    );
+
+    let file = match std::fs::File::create(out) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out}: {e}");
+            return 1;
+        }
+    };
+    match write_rib_dump(&sim.paths, std::io::BufWriter::new(file), seed as u32) {
+        Ok(records) => {
+            println!(
+                "wrote {out}: {records} MRT records, {} RIB entries from {} VPs \
+                 ({} destinations; {} unreachable pairs)",
+                sim.paths.len(),
+                sim.vps.len(),
+                sim.stats.destinations,
+                sim.stats.unreachable_pairs,
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("failed writing MRT: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! `asrank stability` — jackknife the inference over vantage points and
+//! report per-link agreement.
+
+use crate::args::Flags;
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::stability::jackknife;
+use mrt_codec::read_rib_dump;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(rib) = flags.required("rib") else {
+        return 2;
+    };
+    let Some(subsamples) = flags.get_or("subsamples", 8usize) else {
+        return 2;
+    };
+    let Some(seed) = flags.get_or("seed", 42u64) else {
+        return 2;
+    };
+
+    let file = match std::fs::File::open(rib) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {rib}: {e}");
+            return 1;
+        }
+    };
+    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("failed reading MRT: {e}");
+            return 1;
+        }
+    };
+
+    let report = jackknife(&paths, &InferenceConfig::default(), subsamples, seed);
+    println!(
+        "jackknife over {} half-VP subsamples: mean agreement {:.3}",
+        report.subsamples,
+        report.mean_agreement()
+    );
+    for threshold in [0.99, 0.9, 0.5] {
+        println!(
+            "  links below {:.0}% agreement: {}",
+            threshold * 100.0,
+            report.unstable(threshold).len()
+        );
+    }
+    let mut worst: Vec<_> = report.iter().filter(|(_, s)| s.observed > 0).collect();
+    worst.sort_by(|a, b| {
+        a.1.agreement()
+            .partial_cmp(&b.1.agreement())
+            .unwrap()
+            .then_with(|| (a.0.a, a.0.b).cmp(&(b.0.a, b.0.b)))
+    });
+    println!("\nleast stable links:");
+    for (link, s) in worst.iter().take(10) {
+        println!("  {link}: {}/{} subsamples agree", s.agreeing, s.observed);
+    }
+    0
+}

@@ -1,0 +1,63 @@
+//! `asrank` — the command-line toolchain of the reproduction.
+//!
+//! ```text
+//! asrank generate  --scale small --seed 42 --out topo/
+//! asrank simulate  --topo topo/ --vps 30 --out rib.mrt
+//! asrank infer     --rib rib.mrt --topo topo/ --out as-rel.txt
+//! asrank validate  --inferred as-rel.txt --topo topo/
+//! asrank rank      --rib rib.mrt --topo topo/ --top 10
+//! asrank stability --rib rib.mrt --subsamples 8
+//! ```
+//!
+//! Each stage communicates through on-disk artifacts in open formats
+//! (topology bundles, RFC 6396 MRT dumps, CAIDA as-rel text), so any
+//! stage can be swapped for real data — `asrank infer` will happily
+//! consume a RouteViews TABLE_DUMP_V2 file.
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("generate") => commands::generate::run(&argv[1..]),
+        Some("depeer") => commands::depeer::run(&argv[1..]),
+        Some("diff") => commands::diff::run(&argv[1..]),
+        Some("simulate") => commands::simulate::run(&argv[1..]),
+        Some("infer") => commands::infer::run(&argv[1..]),
+        Some("info") => commands::info::run(&argv[1..]),
+        Some("validate") => commands::validate::run(&argv[1..]),
+        Some("rank") => commands::rank::run(&argv[1..]),
+        Some("realism") => commands::realism::run(&argv[1..]),
+        Some("stability") => commands::stability::run(&argv[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprintln!("{USAGE}");
+            if argv.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand {other:?}\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+asrank — AS relationships, customer cones, and validation (IMC 2013 reproduction)
+
+subcommands:
+  generate   --scale tiny|small|medium|internet [--seed N] --out DIR
+  simulate   --topo DIR [--vps N] [--full-feed F] [--seed N]
+             [--dest-sample N] [--anomalies none|realistic] --out FILE.mrt
+  infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt]
+  validate   --inferred as-rel.txt --topo DIR [--corpus-seed N]
+  rank       --rib FILE.mrt [--topo DIR] [--top N]
+  stability  --rib FILE.mrt [--subsamples K] [--seed N]
+  depeer     --topo DIR [--a ASN --b ASN] [--vps N] [--seed N] [--out FILE.mrt]
+  diff       --old as-rel.txt --new as-rel.txt [--show N]
+  realism    --topo DIR
+  info       --rib FILE.mrt";

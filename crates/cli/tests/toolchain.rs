@@ -1,0 +1,226 @@
+//! End-to-end tests of the CLI toolchain, driving the subcommand entry
+//! points directly (each `run` returns the process exit code).
+
+use std::path::PathBuf;
+
+fn sv(args: &[&str]) -> Vec<String> {
+    args.iter().map(|s| s.to_string()).collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asrank_cli_test_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+// The command modules are private to the binary; re-run the binary's
+// logic by invoking the compiled binary is not possible in unit tests
+// without cargo-run, so this test links the same crate internals through
+// a thin include. Instead, spawn the actual binary via CARGO_BIN_EXE.
+fn bin() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_asrank"))
+}
+
+#[test]
+fn full_toolchain_roundtrip() {
+    let dir = tmp("roundtrip");
+    let topo = dir.join("topo");
+    let rib = dir.join("rib.mrt");
+    let rel = dir.join("as-rel.txt");
+
+    // generate
+    let out = bin()
+        .args(sv(&[
+            "generate",
+            "--scale",
+            "tiny",
+            "--seed",
+            "7",
+            "--out",
+            topo.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(topo.join("as-rel.txt").exists());
+    assert!(topo.join("classes.txt").exists());
+
+    // simulate
+    let out = bin()
+        .args(sv(&[
+            "simulate",
+            "--topo",
+            topo.to_str().unwrap(),
+            "--vps",
+            "8",
+            "--seed",
+            "7",
+            "--out",
+            rib.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run simulate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(rib.exists());
+
+    // infer
+    let out = bin()
+        .args(sv(&[
+            "infer",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--topo",
+            topo.to_str().unwrap(),
+            "--out",
+            rel.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run infer");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clique"), "{stdout}");
+    assert!(rel.exists());
+
+    // validate
+    let out = bin()
+        .args(sv(&[
+            "validate",
+            "--inferred",
+            rel.to_str().unwrap(),
+            "--topo",
+            topo.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run validate");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("c2p PPV"), "{stdout}");
+
+    // rank
+    let out = bin()
+        .args(sv(&[
+            "rank",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--topo",
+            topo.to_str().unwrap(),
+            "--top",
+            "3",
+        ]))
+        .output()
+        .expect("run rank");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cone ASes"));
+
+    // depeer (writes an update stream)
+    let storm = dir.join("storm.mrt");
+    let out = bin()
+        .args(sv(&[
+            "depeer",
+            "--topo",
+            topo.to_str().unwrap(),
+            "--vps",
+            "8",
+            "--seed",
+            "7",
+            "--out",
+            storm.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run depeer");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(storm.exists());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let out = bin().arg("frobnicate").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("subcommands"));
+}
+
+#[test]
+fn missing_required_flag_fails() {
+    let out = bin().args(["generate"]).output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn infer_rejects_missing_file() {
+    let out = bin()
+        .args(["infer", "--rib", "/nonexistent/path.mrt"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn stability_runs_on_generated_data() {
+    let dir = tmp("stability");
+    let topo = dir.join("topo");
+    let rib = dir.join("rib.mrt");
+    assert!(bin()
+        .args(sv(&[
+            "generate",
+            "--scale",
+            "tiny",
+            "--seed",
+            "3",
+            "--out",
+            topo.to_str().unwrap()
+        ]))
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(sv(&[
+            "simulate",
+            "--topo",
+            topo.to_str().unwrap(),
+            "--vps",
+            "6",
+            "--seed",
+            "3",
+            "--out",
+            rib.to_str().unwrap(),
+        ]))
+        .status()
+        .unwrap()
+        .success());
+    let out = bin()
+        .args(sv(&[
+            "stability",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--subsamples",
+            "4",
+        ]))
+        .output()
+        .expect("run stability");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mean agreement"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,244 @@
+//! Step S3 — Tier-1 clique inference.
+//!
+//! The top of the transit hierarchy is a set of networks that peer with
+//! one another and buy transit from nobody — the Tier-1 clique. The paper
+//! infers it by taking the ASes with the largest transit degrees and
+//! finding the largest clique (via Bron-Kerbosch) in their observed
+//! adjacency graph, seeded to contain the AS with the largest transit
+//! degree. Everything downstream leans on this anchor: clique-to-clique
+//! links are p2p by construction and the top-down c2p propagation starts
+//! from the clique.
+
+use crate::degree::DegreeTable;
+use crate::sanitize::SanitizedPaths;
+use asrank_types::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Clique inference parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CliqueConfig {
+    /// How many top-transit-degree ASes to consider as clique candidates.
+    pub candidates: usize,
+    /// Require the seed (largest transit degree AS) to be in the clique.
+    pub require_seed: bool,
+}
+
+impl Default for CliqueConfig {
+    fn default() -> Self {
+        CliqueConfig {
+            candidates: 25,
+            require_seed: true,
+        }
+    }
+}
+
+/// Infer the Tier-1 clique. Returns members sorted by ASN.
+///
+/// Among all maximal cliques of the candidate adjacency graph (restricted
+/// to links actually observed in paths), the one with the largest total
+/// transit degree wins — size alone would favor accidental dense pockets
+/// of mid-size ASes over the true top of the hierarchy.
+pub fn infer_clique(paths: &SanitizedPaths, degrees: &DegreeTable, cfg: &CliqueConfig) -> Vec<Asn> {
+    let candidates: Vec<Asn> = degrees
+        .ranked()
+        .iter()
+        .copied()
+        .filter(|&a| degrees.transit_degree(a) > 0)
+        .take(cfg.candidates)
+        .collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let index: HashMap<Asn, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| (a, i))
+        .collect();
+
+    // Observed adjacency restricted to the candidates.
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); candidates.len()];
+    for path in paths.paths() {
+        for (a, b) in path.links() {
+            if let (Some(&ia), Some(&ib)) = (index.get(&a), index.get(&b)) {
+                adj[ia].insert(ib);
+                adj[ib].insert(ia);
+            }
+        }
+    }
+
+    // Bron-Kerbosch with pivoting, collecting maximal cliques.
+    let mut best: Vec<usize> = Vec::new();
+    let mut best_score: (usize, usize) = (0, 0); // (total transit degree, size)
+    let score = |clique: &[usize]| -> (usize, usize) {
+        (
+            clique
+                .iter()
+                .map(|&i| degrees.transit_degree(candidates[i]))
+                .sum(),
+            clique.len(),
+        )
+    };
+
+    let mut r: Vec<usize> = Vec::new();
+    let p: HashSet<usize> = (0..candidates.len()).collect();
+    let x: HashSet<usize> = HashSet::new();
+    bron_kerbosch(&adj, &mut r, p, x, &mut |clique: &[usize]| {
+        if cfg.require_seed && !clique.contains(&0) {
+            return;
+        }
+        let s = score(clique);
+        if s > best_score {
+            best_score = s;
+            best = clique.to_vec();
+        }
+    });
+
+    // Fall back to the seed alone if nothing qualified (e.g. the seed is
+    // isolated among candidates — degenerate but must not return empty).
+    if best.is_empty() && cfg.require_seed {
+        best.push(0);
+    }
+
+    let mut out: Vec<Asn> = best.into_iter().map(|i| candidates[i]).collect();
+    out.sort();
+    out
+}
+
+/// Classic Bron-Kerbosch with pivot selection by maximum degree in `p ∪ x`.
+fn bron_kerbosch(
+    adj: &[HashSet<usize>],
+    r: &mut Vec<usize>,
+    p: HashSet<usize>,
+    x: HashSet<usize>,
+    report: &mut impl FnMut(&[usize]),
+) {
+    if p.is_empty() && x.is_empty() {
+        report(r);
+        return;
+    }
+    // Pivot: vertex in P ∪ X with the most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| adj[u].intersection(&p).count());
+    let expand: Vec<usize> = match pivot {
+        Some(u) => p.iter().copied().filter(|v| !adj[u].contains(v)).collect(),
+        None => p.iter().copied().collect(),
+    };
+    let mut p = p;
+    let mut x = x;
+    let mut expand = expand;
+    expand.sort_unstable(); // deterministic recursion order
+    for v in expand {
+        let np: HashSet<usize> = p.intersection(&adj[v]).copied().collect();
+        let nx: HashSet<usize> = x.intersection(&adj[v]).copied().collect();
+        r.push(v);
+        bron_kerbosch(adj, r, np, nx, report);
+        r.pop();
+        p.remove(&v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::{sanitize, SanitizeConfig};
+
+    /// Build a path set where ASes 1, 2, 3 form a fully-meshed top (each
+    /// pair adjacent in some path, each with high transit degree) and
+    /// 4, 5 are mid-tier.
+    fn clique_paths() -> SanitizedPaths {
+        let raw: Vec<&[u32]> = vec![
+            // Clique adjacencies with transit positions for 1, 2, 3.
+            &[40, 1, 2, 50],
+            &[41, 2, 3, 51],
+            &[42, 1, 3, 52],
+            &[43, 3, 1, 53],
+            &[44, 2, 1, 54],
+            // Give 1, 2, 3 more transit neighbors than anyone else.
+            &[45, 1, 55],
+            &[46, 1, 56],
+            &[47, 2, 57],
+            &[48, 2, 58],
+            &[49, 3, 59],
+            &[60, 3, 61],
+            // Mid-tier 4 and 5: some transit, attached below the clique.
+            &[62, 4, 1, 63],
+            &[64, 5, 2, 65],
+        ];
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        sanitize(&ps, &SanitizeConfig::default())
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let paths = clique_paths();
+        let degrees = DegreeTable::compute(&paths);
+        let clique = infer_clique(&paths, &degrees, &CliqueConfig::default());
+        assert_eq!(clique, vec![Asn(1), Asn(2), Asn(3)]);
+    }
+
+    #[test]
+    fn candidate_cap_respected() {
+        let paths = clique_paths();
+        let degrees = DegreeTable::compute(&paths);
+        let cfg = CliqueConfig {
+            candidates: 1,
+            require_seed: true,
+        };
+        let clique = infer_clique(&paths, &degrees, &cfg);
+        assert_eq!(clique.len(), 1, "only the seed fits in one candidate");
+    }
+
+    #[test]
+    fn empty_input_gives_empty_clique() {
+        let paths = SanitizedPaths::default();
+        let degrees = DegreeTable::compute(&paths);
+        assert!(infer_clique(&paths, &degrees, &CliqueConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn clique_members_are_pairwise_adjacent_in_paths() {
+        let paths = clique_paths();
+        let degrees = DegreeTable::compute(&paths);
+        let clique = infer_clique(&paths, &degrees, &CliqueConfig::default());
+        let links = paths.links();
+        for (i, &a) in clique.iter().enumerate() {
+            for &b in &clique[i + 1..] {
+                assert!(
+                    links.contains(&AsLink::new(a, b)),
+                    "{a} and {b} inferred as clique but never adjacent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_seed_falls_back_to_singleton() {
+        // One path gives AS 2 transit degree but no candidate adjacency
+        // (1 and 3 are endpoints with transit degree 0 → not candidates…
+        // they are candidates only if transit degree > 0).
+        let ps: PathSet = [PathSample {
+            vp: Asn(1),
+            prefix: "10.0.0.0/24".parse().unwrap(),
+            path: AsPath::from_u32s([1, 2, 3]),
+        }]
+        .into_iter()
+        .collect();
+        let paths = sanitize(&ps, &SanitizeConfig::default());
+        let degrees = DegreeTable::compute(&paths);
+        let clique = infer_clique(&paths, &degrees, &CliqueConfig::default());
+        assert_eq!(clique, vec![Asn(2)]);
+    }
+}

@@ -1,0 +1,514 @@
+//! Customer cones — the paper's three definitions.
+//!
+//! The *customer cone* of AS `x` is the set of ASes `x` can reach by only
+//! following provider→customer links: the part of the Internet that pays
+//! (directly or indirectly) for `x`'s transit. The paper defines three
+//! variants with different robustness/recall trade-offs:
+//!
+//! 1. **Recursive** — the transitive closure of inferred p2c links.
+//!    Largest, but inflated by multihoming misinference: one wrong c2p
+//!    link grafts an entire subtree into a cone.
+//! 2. **BGP-observed** — `y ∈ cone(x)` only when an observed path
+//!    actually descends from `x` to `y` through inferred p2c links.
+//! 3. **Provider/peer observed** — `y ∈ cone(x)` only when a path shows
+//!    `x` *announcing* `y` to one of `x`'s providers or peers; by
+//!    Gao-Rexford export rules such announcements can only be customer
+//!    routes, so this is the most conservative definition.
+//!
+//! Cones are measured in three units: member ASes, originated prefixes,
+//! and originated address space.
+
+use crate::sanitize::SanitizedPaths;
+use asrank_types::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Size of one AS's customer cone in the three units the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConeSize {
+    /// Number of ASes in the cone (including the AS itself).
+    pub ases: usize,
+    /// Prefixes originated by cone members.
+    pub prefixes: usize,
+    /// IPv4 addresses covered by those prefixes.
+    pub addresses: u64,
+}
+
+/// Customer cones for every AS under one of the three definitions.
+#[derive(Debug, Clone, Default)]
+pub struct CustomerCones {
+    sizes: HashMap<Asn, ConeSize>,
+    members: HashMap<Asn, Vec<Asn>>,
+}
+
+/// The three cone definitions computed side by side, for comparison
+/// experiments.
+#[derive(Debug, Clone)]
+pub struct ConeSets {
+    /// Transitive closure of p2c.
+    pub recursive: CustomerCones,
+    /// Path-witnessed descent.
+    pub bgp_observed: CustomerCones,
+    /// Announcement-witnessed (to provider or peer).
+    pub provider_peer_observed: CustomerCones,
+}
+
+impl ConeSets {
+    /// Compute all three definitions.
+    pub fn compute(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        ConeSets {
+            recursive: CustomerCones::recursive(rels, prefixes),
+            bgp_observed: CustomerCones::bgp_observed(sanitized, rels, prefixes),
+            provider_peer_observed: CustomerCones::provider_peer_observed(
+                sanitized, rels, prefixes,
+            ),
+        }
+    }
+}
+
+impl CustomerCones {
+    /// Cone size of `asn`; an unknown AS has the trivial cone of itself
+    /// with no known prefixes.
+    pub fn size(&self, asn: Asn) -> ConeSize {
+        self.sizes.get(&asn).copied().unwrap_or(ConeSize {
+            ases: 1,
+            prefixes: 0,
+            addresses: 0,
+        })
+    }
+
+    /// Sorted cone membership of `asn` (empty slice for unknown ASes).
+    pub fn members(&self, asn: Asn) -> &[Asn] {
+        self.members.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// True when `y` is in `x`'s cone.
+    pub fn contains(&self, x: Asn, y: Asn) -> bool {
+        self.members(x).binary_search(&y).is_ok()
+    }
+
+    /// All ASes with a computed cone.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.sizes.keys().copied()
+    }
+
+    /// Number of ASes covered.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// True when no cone was computed.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// The AS with the largest cone (by AS count), if any.
+    pub fn largest(&self) -> Option<(Asn, ConeSize)> {
+        self.sizes
+            .iter()
+            .max_by_key(|(&a, s)| (s.ases, std::cmp::Reverse(a)))
+            .map(|(&a, &s)| (a, s))
+    }
+
+    /// **Recursive cone**: transitive closure of inferred p2c links.
+    ///
+    /// Cycles (inference errors) are collapsed first so the closure is
+    /// well-defined: every member of a c2p cycle shares one cone.
+    ///
+    /// ```
+    /// use asrank_core::CustomerCones;
+    /// use asrank_types::{Asn, RelationshipMap};
+    ///
+    /// let mut rels = RelationshipMap::new();
+    /// rels.insert_c2p(Asn(10), Asn(1));
+    /// rels.insert_c2p(Asn(100), Asn(10));
+    /// let cones = CustomerCones::recursive(&rels, None);
+    /// assert_eq!(cones.size(Asn(1)).ases, 3);   // {1, 10, 100}
+    /// assert!(cones.contains(Asn(1), Asn(100)));
+    /// assert_eq!(cones.size(Asn(100)).ases, 1); // just itself
+    /// ```
+    pub fn recursive(
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        // Dense ids over all ASes in the relationship map.
+        let mut interner = AsnInterner::new();
+        let mut ases: Vec<Asn> = rels.ases().collect();
+        ases.sort();
+        for &a in &ases {
+            interner.intern(a);
+        }
+        let n = interner.len();
+        if n == 0 {
+            return CustomerCones::default();
+        }
+
+        // customer → provider edge lists by dense id.
+        let mut providers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut customers: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (c, p) in rels.c2p_pairs() {
+            let ci = interner.get(c).expect("interned");
+            let pi = interner.get(p).expect("interned");
+            providers[ci as usize].push(pi);
+            customers[pi as usize].push(ci);
+        }
+
+        // Collapse cycles exactly: Tarjan SCCs over the c2p digraph make
+        // the condensation acyclic (a non-trivial SCC is an inference
+        // error, but the closure must still be well-defined).
+        let scc = crate::scc::tarjan(n, &providers);
+        let comp = Components {
+            of: scc.comp.clone(),
+            count: scc.count,
+        };
+
+        // Condensed customer edges (comp → comp).
+        let ncomp = comp.count;
+        let mut comp_customers: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        let mut indegree: Vec<u32> = vec![0; ncomp]; // provider-side indegree
+        for (p, cs) in customers.iter().enumerate() {
+            for &c in cs {
+                let pc = comp.of[p];
+                let cc = comp.of[c as usize];
+                if pc != cc {
+                    comp_customers[pc as usize].push(cc);
+                }
+            }
+        }
+        for v in comp_customers.iter_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for cc in comp_customers.iter().flatten() {
+            indegree[*cc as usize] += 1;
+        }
+
+        // Reverse topological order: providers after their customers —
+        // process components with no *remaining providers pointing at
+        // them*… easier: topologically order by provider→customer edges
+        // and process in reverse.
+        let mut order: Vec<u32> = Vec::with_capacity(ncomp);
+        let mut queue: Vec<u32> = (0..ncomp as u32)
+            .filter(|&c| indegree[c as usize] == 0)
+            .collect();
+        let mut indeg = indegree;
+        while let Some(c) = queue.pop() {
+            order.push(c);
+            for &cc in &comp_customers[c as usize] {
+                indeg[cc as usize] -= 1;
+                if indeg[cc as usize] == 0 {
+                    queue.push(cc);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), ncomp, "condensation must be acyclic");
+
+        // Bitset DP in reverse order: cone(comp) = members ∪ cones of
+        // customer comps.
+        let words = n.div_ceil(64);
+        let mut comp_members: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
+        for i in 0..n {
+            comp_members[comp.of[i] as usize].push(i as u32);
+        }
+        let mut cones: Vec<Option<Vec<u64>>> = vec![None; ncomp];
+        for &c in order.iter().rev() {
+            let mut bits = vec![0u64; words];
+            for &m in &comp_members[c as usize] {
+                bits[(m / 64) as usize] |= 1u64 << (m % 64);
+            }
+            for &cc in &comp_customers[c as usize] {
+                let child = cones[cc as usize]
+                    .as_ref()
+                    .expect("customers processed before providers");
+                for (w, cw) in bits.iter_mut().zip(child) {
+                    *w |= cw;
+                }
+            }
+            cones[c as usize] = Some(bits);
+        }
+
+        // Materialize per-AS membership and sizes.
+        let mut out = CustomerCones::default();
+        for i in 0..n {
+            let asn = interner.resolve(i as u32);
+            let bits = cones[comp.of[i] as usize].as_ref().expect("computed");
+            let mut members: Vec<Asn> = Vec::new();
+            for (w, &word) in bits.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let b = word.trailing_zeros();
+                    members.push(interner.resolve((w * 64) as u32 + b));
+                    word &= word - 1;
+                }
+            }
+            members.sort();
+            let size = measure(&members, prefixes);
+            out.sizes.insert(asn, size);
+            out.members.insert(asn, members);
+        }
+        out
+    }
+
+    /// **BGP-observed cone**: membership requires a witnessed descent.
+    pub fn bgp_observed(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let mut sets: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
+        for path in distinct {
+            let hops = &path.0;
+            // Mark which links descend (hops[j] is provider of hops[j+1]).
+            for start in 0..hops.len().saturating_sub(1) {
+                // Extend the maximal descending run beginning at `start`.
+                let mut end = start;
+                while end + 1 < hops.len() && rels.is_c2p(hops[end + 1], hops[end]) {
+                    end += 1;
+                }
+                if end > start {
+                    let owner = hops[start];
+                    let set = sets.entry(owner).or_default();
+                    for &below in &hops[start + 1..=end] {
+                        set.insert(below);
+                    }
+                }
+            }
+        }
+        Self::from_sets(sanitized, sets, prefixes)
+    }
+
+    /// **Provider/peer observed cone**: membership requires `x` to have
+    /// been seen announcing the member to a provider or peer.
+    pub fn provider_peer_observed(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let mut sets: HashMap<Asn, HashSet<Asn>> = HashMap::new();
+        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
+        for path in distinct {
+            let hops = &path.0;
+            for i in 1..hops.len() {
+                let x = hops[i];
+                let w = hops[i - 1];
+                // w received the route from x; if w is x's provider or
+                // peer, everything beyond x is x's customer cone.
+                let o = rels.orientation(x, w);
+                if matches!(o, Some(Orientation::Provider) | Some(Orientation::Peer)) {
+                    let set = sets.entry(x).or_default();
+                    for &below in &hops[i + 1..] {
+                        set.insert(below);
+                    }
+                }
+            }
+        }
+        Self::from_sets(sanitized, sets, prefixes)
+    }
+
+    fn from_sets(
+        sanitized: &SanitizedPaths,
+        sets: HashMap<Asn, HashSet<Asn>>,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let mut out = CustomerCones::default();
+        // Every observed AS has at least the trivial cone of itself.
+        let mut all: HashSet<Asn> = HashSet::new();
+        for p in sanitized.paths() {
+            all.extend(p.iter());
+        }
+        for asn in all {
+            let mut members: Vec<Asn> = sets
+                .get(&asn)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default();
+            members.push(asn);
+            members.sort();
+            members.dedup();
+            let size = measure(&members, prefixes);
+            out.sizes.insert(asn, size);
+            out.members.insert(asn, members);
+        }
+        out
+    }
+}
+
+/// Weigh a member list in the three units.
+fn measure(members: &[Asn], prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>) -> ConeSize {
+    let mut size = ConeSize {
+        ases: members.len(),
+        prefixes: 0,
+        addresses: 0,
+    };
+    if let Some(table) = prefixes {
+        for m in members {
+            if let Some(pfx) = table.get(m) {
+                size.prefixes += pfx.len();
+                size.addresses += pfx.iter().map(Ipv4Prefix::address_count).sum::<u64>();
+            }
+        }
+    }
+    size
+}
+
+/// Component labeling of the c2p digraph (dense ids).
+struct Components {
+    of: Vec<u32>,
+    count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::{sanitize, SanitizeConfig};
+
+    /// 1 ═ 2 clique; 10→1, 20→2, 100→10, 200→20; 100 multihomes to 20.
+    fn rels() -> RelationshipMap {
+        let mut r = RelationshipMap::new();
+        r.insert_p2p(Asn(1), Asn(2));
+        r.insert_c2p(Asn(10), Asn(1));
+        r.insert_c2p(Asn(20), Asn(2));
+        r.insert_c2p(Asn(100), Asn(10));
+        r.insert_c2p(Asn(200), Asn(20));
+        r.insert_c2p(Asn(100), Asn(20));
+        r
+    }
+
+    fn paths(raw: &[&[u32]]) -> SanitizedPaths {
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        sanitize(&ps, &SanitizeConfig::default())
+    }
+
+    #[test]
+    fn recursive_cone_closure() {
+        let cones = CustomerCones::recursive(&rels(), None);
+        assert_eq!(cones.members(Asn(1)), &[Asn(1), Asn(10), Asn(100)]);
+        assert_eq!(
+            cones.members(Asn(2)),
+            &[Asn(2), Asn(20), Asn(100), Asn(200)]
+        );
+        assert_eq!(cones.members(Asn(100)), &[Asn(100)]);
+        assert_eq!(cones.size(Asn(2)).ases, 4);
+        assert!(cones.contains(Asn(1), Asn(100)));
+        assert!(!cones.contains(Asn(1), Asn(200)));
+    }
+
+    #[test]
+    fn recursive_cone_handles_cycles() {
+        let mut r = RelationshipMap::new();
+        r.insert_c2p(Asn(1), Asn(2));
+        r.insert_c2p(Asn(2), Asn(3));
+        r.insert_c2p(Asn(3), Asn(1)); // cycle 1→2→3→1
+        r.insert_c2p(Asn(9), Asn(1)); // 9 below the cycle
+        let cones = CustomerCones::recursive(&r, None);
+        // All cycle members share one cone containing the cycle + 9.
+        for a in [1u32, 2, 3] {
+            assert_eq!(
+                cones.members(Asn(a)),
+                &[Asn(1), Asn(2), Asn(3), Asn(9)],
+                "cycle member {a}"
+            );
+        }
+        assert_eq!(cones.members(Asn(9)), &[Asn(9)]);
+    }
+
+    #[test]
+    fn prefix_weighting() {
+        let mut prefixes: HashMap<Asn, Vec<Ipv4Prefix>> = HashMap::new();
+        prefixes.insert(Asn(100), vec!["10.0.0.0/24".parse().unwrap()]);
+        prefixes.insert(
+            Asn(10),
+            vec![
+                "11.0.0.0/24".parse().unwrap(),
+                "12.0.0.0/23".parse().unwrap(),
+            ],
+        );
+        let cones = CustomerCones::recursive(&rels(), Some(&prefixes));
+        let s1 = cones.size(Asn(1)); // cone {1,10,100}
+        assert_eq!(s1.prefixes, 3);
+        assert_eq!(s1.addresses, 256 + 256 + 512);
+        let s100 = cones.size(Asn(100));
+        assert_eq!(s100.prefixes, 1);
+        assert_eq!(s100.addresses, 256);
+    }
+
+    #[test]
+    fn bgp_observed_requires_witnessed_descent() {
+        let r = rels();
+        // Only one path descends 1 → 10 → 100; nobody ever observes
+        // 20 → 100, so 100 is NOT in 20's BGP-observed cone even though
+        // the recursive cone contains it.
+        let p = paths(&[&[200, 20, 2, 1, 10, 100]]);
+        let cones = CustomerCones::bgp_observed(&p, &r, None);
+        assert!(cones.contains(Asn(1), Asn(100)));
+        assert!(cones.contains(Asn(1), Asn(10)));
+        assert!(cones.contains(Asn(10), Asn(100)));
+        assert!(!cones.contains(Asn(20), Asn(100)), "descent not witnessed");
+        // 2 receives the route from peer 1 — 1's announcement, not 2's
+        // descent… 2→1 is p2p so the descent run stops at 2.
+        assert!(!cones.contains(Asn(2), Asn(100)));
+        // Recursive ⊇ BGP-observed.
+        let rec = CustomerCones::recursive(&r, None);
+        for asn in cones.ases() {
+            let obs = cones.members(asn);
+            for m in obs {
+                assert!(
+                    rec.contains(asn, *m),
+                    "{m} in observed but not recursive cone of {asn}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provider_peer_observed_uses_announcements() {
+        let r = rels();
+        // Path seen at VP 200: 200 ← 20 ← 2 ← 1 ← 10 ← 100 i.e. hops
+        // [200, 20, 2, 1, 10, 100]. Announcements witnessed:
+        //  • 20 → 200? 200 is 20's *customer* (receives everything): no.
+        //  • 2 → 20: 20's view of 2 is Provider ⇒ everything after 2
+        //    ([1, 10, 100]) would be 2's cone — but wait, 2 announced the
+        //    route *down* to 20… the rule keys on hops[i-1] being the
+        //    provider/peer OF hops[i]:
+        //    i=1: x=20, w=200: orientation(20,200)=Customer → skip.
+        //    i=2: x=2, w=20: orientation(2,20)=Customer → skip.
+        //    i=3: x=1, w=2: orientation(1,2)=Peer → cone(1) ⊇ {10,100}. ✓
+        //    i=4: x=10, w=1: orientation(10,1)=Provider → cone(10) ⊇ {100}. ✓
+        let p = paths(&[&[200, 20, 2, 1, 10, 100]]);
+        let cones = CustomerCones::provider_peer_observed(&p, &r, None);
+        assert!(cones.contains(Asn(1), Asn(10)));
+        assert!(cones.contains(Asn(1), Asn(100)));
+        assert!(cones.contains(Asn(10), Asn(100)));
+        assert!(!cones.contains(Asn(2), Asn(1)), "peer is not in the cone");
+        assert!(!cones.contains(Asn(20), Asn(2)));
+        assert_eq!(cones.size(Asn(200)).ases, 1, "VP has trivial cone");
+    }
+
+    #[test]
+    fn largest_reports_biggest_cone() {
+        let cones = CustomerCones::recursive(&rels(), None);
+        let (asn, size) = cones.largest().unwrap();
+        assert_eq!(asn, Asn(2));
+        assert_eq!(size.ases, 4);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let cones = CustomerCones::recursive(&RelationshipMap::new(), None);
+        assert!(cones.is_empty());
+        assert_eq!(cones.size(Asn(7)).ases, 1, "unknown AS has trivial cone");
+        assert!(cones.members(Asn(7)).is_empty());
+    }
+}

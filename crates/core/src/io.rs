@@ -1,0 +1,203 @@
+//! CAIDA `as-rel` interchange format.
+//!
+//! The paper's public artifact ships relationship inferences as
+//! pipe-separated text (the "serial-1" format still published monthly):
+//!
+//! ```text
+//! # comment lines start with '#'
+//! <provider-as>|<customer-as>|-1
+//! <peer-as>|<peer-as>|0
+//! <sibling-as>|<sibling-as>|2      (serial-2 extension)
+//! ```
+//!
+//! This module reads and writes that format so the reproduction's output
+//! is drop-in compatible with tooling built around CAIDA's files.
+
+use asrank_types::prelude::*;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors raised while parsing as-rel text.
+#[derive(Debug)]
+pub enum AsRelError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number.
+    Malformed {
+        /// Line number.
+        line: usize,
+        /// Line content.
+        content: String,
+    },
+}
+
+impl fmt::Display for AsRelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsRelError::Io(e) => write!(f, "I/O error: {e}"),
+            AsRelError::Malformed { line, content } => {
+                write!(f, "malformed as-rel line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsRelError {}
+
+impl From<std::io::Error> for AsRelError {
+    fn from(e: std::io::Error) -> Self {
+        AsRelError::Io(e)
+    }
+}
+
+/// Write a relationship map in as-rel format, sorted for reproducible
+/// output. Returns the number of data lines written.
+pub fn write_as_rel<W: Write>(rels: &RelationshipMap, mut out: W) -> Result<usize, AsRelError> {
+    writeln!(
+        out,
+        "# asrank reproduction | format: provider|customer|-1, peer|peer|0, sibling|sibling|2"
+    )?;
+    let mut lines: Vec<(u32, u32, i8)> = Vec::with_capacity(rels.len());
+    for (link, rel) in rels.iter() {
+        let (a, b, code) = match rel {
+            // provider first for c2p lines, as CAIDA does.
+            LinkRel::AC2pB => (link.b.0, link.a.0, -1),
+            LinkRel::AP2cB => (link.a.0, link.b.0, -1),
+            LinkRel::P2p => (link.a.0, link.b.0, 0),
+            LinkRel::S2s => (link.a.0, link.b.0, 2),
+        };
+        lines.push((a, b, code));
+    }
+    lines.sort_unstable();
+    let n = lines.len();
+    for (a, b, code) in lines {
+        writeln!(out, "{a}|{b}|{code}")?;
+    }
+    Ok(n)
+}
+
+/// Read an as-rel file into a relationship map. Comment lines (`#`) and
+/// blank lines are skipped; anything else malformed is an error.
+pub fn read_as_rel<R: BufRead>(input: R) -> Result<RelationshipMap, AsRelError> {
+    let mut rels = RelationshipMap::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let malformed = || AsRelError::Malformed {
+            line: i + 1,
+            content: line.clone(),
+        };
+        let mut parts = trimmed.split('|');
+        let a: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(malformed)?;
+        let b: u32 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(malformed)?;
+        let code: i8 = parts
+            .next()
+            .and_then(|s| s.trim().parse().ok())
+            .ok_or_else(malformed)?;
+        if a == b {
+            return Err(malformed());
+        }
+        match code {
+            -1 => rels.insert_c2p(Asn(b), Asn(a)), // a is the provider
+            0 => rels.insert_p2p(Asn(a), Asn(b)),
+            2 => rels.insert_s2s(Asn(a), Asn(b)),
+            _ => return Err(malformed()),
+        }
+    }
+    Ok(rels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelationshipMap {
+        let mut r = RelationshipMap::new();
+        r.insert_c2p(Asn(10), Asn(1)); // 1 is provider
+        r.insert_c2p(Asn(1), Asn(99)); // 99 is provider, tests AP2cB path
+        r.insert_p2p(Asn(1), Asn(2));
+        r.insert_s2s(Asn(5), Asn(6));
+        r
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let mut buf = Vec::new();
+        let n = write_as_rel(&r, &mut buf).unwrap();
+        assert_eq!(n, 4);
+        let back = read_as_rel(&buf[..]).unwrap();
+        assert!(back.is_c2p(Asn(10), Asn(1)));
+        assert!(back.is_c2p(Asn(1), Asn(99)));
+        assert!(back.is_p2p(Asn(1), Asn(2)));
+        assert_eq!(
+            back.get(Asn(5), Asn(6)).map(|x| x.kind()),
+            Some(RelationshipKind::S2s)
+        );
+        assert_eq!(back.len(), r.len());
+    }
+
+    #[test]
+    fn provider_is_first_on_c2p_lines() {
+        let mut r = RelationshipMap::new();
+        r.insert_c2p(Asn(64000), Asn(3356));
+        let mut buf = Vec::new();
+        write_as_rel(&r, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3356|64000|-1"), "{text}");
+    }
+
+    #[test]
+    fn output_is_sorted_and_commented() {
+        let mut buf = Vec::new();
+        write_as_rel(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with('#'));
+        // Numerically sorted by (first ASN, second ASN).
+        let data: Vec<(u32, u32)> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| {
+                let mut it = l.split('|');
+                (
+                    it.next().unwrap().parse().unwrap(),
+                    it.next().unwrap().parse().unwrap(),
+                )
+            })
+            .collect();
+        let mut sorted = data.clone();
+        sorted.sort();
+        assert_eq!(data, sorted);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let text = "# header\n\n1|2|0\n# trailing\n";
+        let r = read_as_rel(text.as_bytes()).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.is_p2p(Asn(1), Asn(2)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["1|2", "1|2|9", "x|2|0", "1|1|0", "1|2|0|extra-is-fine"] {
+            let res = read_as_rel(bad.as_bytes());
+            if bad == "1|2|0|extra-is-fine" {
+                // Extra fields are tolerated (serial-2 carries a source
+                // column); the first three must parse.
+                assert!(res.is_ok(), "{bad}");
+            } else {
+                assert!(matches!(res, Err(AsRelError::Malformed { .. })), "{bad}");
+            }
+        }
+    }
+}

@@ -1,0 +1,600 @@
+//! The relationship-classification steps S4–S11.
+//!
+//! Each step is a standalone function taking the working
+//! [`RelationshipMap`] so tests can exercise them in isolation; [`run`]
+//! executes them in paper order.
+
+use super::{InferenceConfig, InferenceReport};
+use crate::degree::DegreeTable;
+use crate::sanitize::SanitizedPaths;
+use asrank_types::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Execute S4–S11 and return the final relationship map.
+pub fn run(
+    sanitized: &SanitizedPaths,
+    degrees: &DegreeTable,
+    clique: &[Asn],
+    cfg: &InferenceConfig,
+    report: &mut InferenceReport,
+) -> RelationshipMap {
+    let clique_set: HashSet<Asn> = clique.iter().copied().collect();
+
+    // Distinct paths only: multiplicity (one sample per prefix) adds no
+    // relationship evidence and would inflate the S5 index.
+    let mut distinct: Vec<AsPath> = {
+        let set: HashSet<&AsPath> = sanitized.paths().collect();
+        set.into_iter().cloned().collect()
+    };
+    distinct.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
+
+    // S4: discard poisoned paths.
+    let paths = if cfg.ablation.no_poison_filter {
+        distinct
+    } else {
+        discard_poisoned(distinct, &clique_set, report)
+    };
+
+    let mut rels = RelationshipMap::new();
+
+    // Clique links are p2p by construction.
+    for (i, &a) in clique.iter().enumerate() {
+        for &b in &clique[i + 1..] {
+            rels.insert_p2p(a, b);
+        }
+    }
+
+    // S5: top-down c2p inference.
+    infer_topdown(&paths, degrees, &clique_set, &mut rels, report);
+
+    // S6: VP-side providers.
+    if !cfg.ablation.no_vp_step {
+        infer_vp_providers(sanitized, degrees, cfg, &mut rels, report);
+    }
+
+    // S7: repair degree anomalies.
+    if !cfg.ablation.no_anomaly_repair {
+        repair_anomalies(degrees, cfg, &mut rels, report);
+    }
+
+    // S8: stub-to-clique.
+    if !cfg.ablation.no_stub_clique {
+        infer_stub_clique(&paths, degrees, &clique_set, &mut rels, report);
+    }
+
+    // S9: providers for provider-less transit ASes.
+    if !cfg.ablation.no_providerless {
+        infer_providerless(&paths, degrees, &clique_set, &mut rels, report);
+    }
+
+    // S10: the rest is p2p.
+    assign_remaining_p2p(&paths, &mut rels, report);
+
+    // S11: audit.
+    report.cycle_links = audit_cycles(&rels);
+
+    rels
+}
+
+/// S4 — a path is poisoned when a non-clique AS appears between two
+/// clique members: legitimate routing never sandwiches a smaller AS
+/// between two Tier-1s.
+pub fn discard_poisoned(
+    paths: Vec<AsPath>,
+    clique: &HashSet<Asn>,
+    report: &mut InferenceReport,
+) -> Vec<AsPath> {
+    let before = paths.len();
+    let kept: Vec<AsPath> = paths
+        .into_iter()
+        .filter(|p| !is_poisoned(p, clique))
+        .collect();
+    report.discarded_poisoned = before - kept.len();
+    kept
+}
+
+fn is_poisoned(path: &AsPath, clique: &HashSet<Asn>) -> bool {
+    // Scan for clique, then ≥1 non-clique, then clique again.
+    let mut seen_clique = false;
+    let mut gap_since_clique = false;
+    for asn in path.iter() {
+        if clique.contains(&asn) {
+            if seen_clique && gap_since_clique {
+                return true;
+            }
+            seen_clique = true;
+            gap_since_clique = false;
+        } else if seen_clique {
+            gap_since_clique = true;
+        }
+    }
+    false
+}
+
+/// S5 — visit ASes in decreasing transit-degree order. When visiting `z`,
+/// every (distinct) path where `z` is preceded by an already-visited
+/// (higher-ranked) AS is treated as evidence that the rest of the path is
+/// `z`'s customer chain: `z` exported the route to a bigger network,
+/// which (by the economics the paper leans on) it would only do for
+/// customer routes. Each link of the remaining chain is inferred p2c
+/// unless an earlier (higher-ranked, more trusted) inference disagrees,
+/// in which case the walk stops and the conflict is recorded.
+pub fn infer_topdown(
+    paths: &[AsPath],
+    degrees: &DegreeTable,
+    clique: &HashSet<Asn>,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    // Index: AS → (path index, position) occurrences.
+    let mut occurrences: HashMap<Asn, Vec<(u32, u16)>> = HashMap::new();
+    for (pi, path) in paths.iter().enumerate() {
+        for (pos, asn) in path.iter().enumerate() {
+            occurrences
+                .entry(asn)
+                .or_default()
+                .push((pi as u32, pos as u16));
+        }
+    }
+
+    let mut visited: HashSet<Asn> = clique.clone();
+
+    for &z in degrees.ranked() {
+        let Some(occ) = occurrences.get(&z) else {
+            visited.insert(z);
+            continue;
+        };
+        for &(pi, pos) in occ {
+            let hops = &paths[pi as usize].0;
+            let i = pos as usize;
+            // Evidence requires a higher-ranked AS on the VP side of z
+            // and an unvisited (lower-ranked) AS on the origin side.
+            if i == 0 || i + 1 >= hops.len() {
+                continue;
+            }
+            if !visited.contains(&hops[i - 1]) || hops[i - 1] == z {
+                continue;
+            }
+            if visited.contains(&hops[i + 1]) {
+                continue;
+            }
+            // Walk the customer chain toward the origin.
+            for j in i..hops.len() - 1 {
+                let provider = hops[j];
+                let customer = hops[j + 1];
+                match rels.orientation(customer, provider) {
+                    None => {
+                        rels.insert_c2p(customer, provider);
+                        report.c2p_from_topdown += 1;
+                    }
+                    Some(Orientation::Provider) => {} // agrees; keep walking
+                    Some(_) => {
+                        report.conflicts += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        visited.insert(z);
+    }
+}
+
+/// S6 — a vantage point's own links are rarely seen in descent (no other
+/// path routes *through* a stub VP), so classify them from feed shares:
+/// a first-hop neighbor delivering at least `vp_provider_threshold` of
+/// the VP's distinct prefixes is inferred to be its provider — a peer
+/// would only deliver its own customer cone.
+pub fn infer_vp_providers(
+    sanitized: &SanitizedPaths,
+    degrees: &DegreeTable,
+    cfg: &InferenceConfig,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    // (vp, first hop) → distinct prefixes, plus per-VP totals.
+    let mut via: HashMap<(Asn, Asn), HashSet<Ipv4Prefix>> = HashMap::new();
+    let mut totals: HashMap<Asn, HashSet<Ipv4Prefix>> = HashMap::new();
+    for s in &sanitized.samples {
+        let hops = &s.path.0;
+        if hops.len() < 2 || hops[0] != s.vp {
+            continue;
+        }
+        via.entry((s.vp, hops[1])).or_default().insert(s.prefix);
+        totals.entry(s.vp).or_default().insert(s.prefix);
+    }
+    let threshold = cfg.vp_threshold();
+    let mut candidates: Vec<(Asn, Asn)> = via.keys().copied().collect();
+    candidates.sort();
+    for (vp, w) in candidates {
+        if rels.get(vp, w).is_some() {
+            continue;
+        }
+        let total = totals[&vp].len();
+        if total == 0 {
+            continue;
+        }
+        let share = via[&(vp, w)].len() as f64 / total as f64;
+        if share >= threshold && degrees.transit_degree(w) >= degrees.transit_degree(vp) {
+            rels.insert_c2p(vp, w);
+            report.c2p_from_vps += 1;
+        }
+    }
+}
+
+/// S7 — demote c2p inferences whose customer dwarfs the provider: a
+/// "customer" with 10× the provider's transit degree is overwhelmingly
+/// more likely a peer observed at a path peak than an actual customer.
+pub fn repair_anomalies(
+    degrees: &DegreeTable,
+    cfg: &InferenceConfig,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    let ratio = cfg.flip_ratio();
+    let offenders: Vec<(Asn, Asn)> = rels
+        .c2p_pairs()
+        .filter(|&(c, p)| {
+            let tc = degrees.transit_degree(c);
+            let tp = degrees.transit_degree(p);
+            tp > 0 && tc as f64 > ratio * tp as f64 && tc >= 10
+        })
+        .collect();
+    for (c, p) in offenders {
+        rels.insert_p2p(c, p);
+        report.repaired_anomalies += 1;
+    }
+}
+
+/// S8 — an unclassified link between a stub (transit degree 0) and a
+/// clique member is c2p: Tier-1 networks do not peer with stubs.
+pub fn infer_stub_clique(
+    paths: &[AsPath],
+    degrees: &DegreeTable,
+    clique: &HashSet<Asn>,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    for link in observed_links(paths) {
+        if rels.get(link.a, link.b).is_some() {
+            continue;
+        }
+        let (stub, top) = if clique.contains(&link.a) && degrees.transit_degree(link.b) == 0 {
+            (link.b, link.a)
+        } else if clique.contains(&link.b) && degrees.transit_degree(link.a) == 0 {
+            (link.a, link.b)
+        } else {
+            continue;
+        };
+        rels.insert_c2p(stub, top);
+        report.c2p_stub_clique += 1;
+    }
+}
+
+/// S9 — every non-clique AS that transits traffic must buy transit from
+/// someone. For provider-less transit ASes, the most frequently adjacent
+/// higher-ranked neighbor with an unclassified link is inferred to be a
+/// provider.
+pub fn infer_providerless(
+    paths: &[AsPath],
+    degrees: &DegreeTable,
+    clique: &HashSet<Asn>,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    // Adjacency frequency per AS.
+    let mut freq: HashMap<Asn, HashMap<Asn, usize>> = HashMap::new();
+    for path in paths {
+        for (a, b) in path.links() {
+            *freq.entry(a).or_default().entry(b).or_default() += 1;
+            *freq.entry(b).or_default().entry(a).or_default() += 1;
+        }
+    }
+
+    let has_provider = |rels: &RelationshipMap, z: Asn, neigh: &HashMap<Asn, usize>| {
+        neigh
+            .keys()
+            .any(|&w| rels.orientation(z, w) == Some(Orientation::Provider))
+    };
+
+    // Visit from the bottom of the hierarchy upward: small ASes have the
+    // clearest upstream signal.
+    for &z in degrees.ranked().iter().rev() {
+        if clique.contains(&z) || degrees.transit_degree(z) == 0 {
+            continue;
+        }
+        let Some(neigh) = freq.get(&z) else { continue };
+        if has_provider(rels, z, neigh) {
+            continue;
+        }
+        // Most frequent higher-ranked neighbor with an unclassified link.
+        let mut cands: Vec<(&Asn, &usize)> = neigh
+            .iter()
+            .filter(|(&w, _)| {
+                rels.get(z, w).is_none() && degrees.transit_degree(w) > degrees.transit_degree(z)
+            })
+            .collect();
+        cands.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        if let Some((&w, _)) = cands.first() {
+            rels.insert_c2p(z, w);
+            report.c2p_providerless += 1;
+        }
+    }
+}
+
+/// S10 — every observed link not yet classified is p2p. Peering links are
+/// exactly the ones that never show up in a descent (peers export only
+/// customer routes to each other), so this default captures them.
+pub fn assign_remaining_p2p(
+    paths: &[AsPath],
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    for link in observed_links(paths) {
+        if rels.get(link.a, link.b).is_none() {
+            rels.insert_p2p(link.a, link.b);
+            report.p2p_assigned += 1;
+        }
+    }
+}
+
+/// S11 — count links participating in a customer→provider cycle. A sound
+/// inference has none; every counted link is an inference error the
+/// validation framework will surface.
+pub fn audit_cycles(rels: &RelationshipMap) -> usize {
+    // Dense ids over the c2p digraph, then exact SCCs: a link is on a
+    // cycle iff both endpoints share a non-trivial component.
+    let mut interner = AsnInterner::new();
+    let mut ases: Vec<Asn> = rels.ases().collect();
+    ases.sort();
+    for &a in &ases {
+        interner.intern(a);
+    }
+    let n = interner.len();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for (c, p) in rels.c2p_pairs() {
+        let ci = interner.get(c).expect("interned");
+        let pi = interner.get(p).expect("interned");
+        adj[ci as usize].push(pi);
+    }
+    let scc = crate::scc::tarjan(n, &adj);
+    rels.c2p_pairs()
+        .filter(|&(c, p)| {
+            let ci = interner.get(c).expect("interned") as usize;
+            let pi = interner.get(p).expect("interned") as usize;
+            scc.comp[ci] == scc.comp[pi] && scc.on_cycle(ci)
+        })
+        .count()
+}
+
+/// Distinct links across a set of paths, in deterministic order.
+fn observed_links(paths: &[AsPath]) -> Vec<AsLink> {
+    let mut set: HashSet<AsLink> = HashSet::new();
+    for p in paths {
+        for (a, b) in p.links() {
+            set.insert(AsLink::new(a, b));
+        }
+    }
+    let mut v: Vec<AsLink> = set.into_iter().collect();
+    v.sort();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paths(raw: &[&[u32]]) -> Vec<AsPath> {
+        raw.iter()
+            .map(|p| AsPath::from_u32s(p.iter().copied()))
+            .collect()
+    }
+
+    fn degrees_for(raw: &[&[u32]]) -> DegreeTable {
+        use crate::sanitize::{sanitize, SanitizeConfig};
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        DegreeTable::compute(&sanitize(&ps, &SanitizeConfig::default()))
+    }
+
+    #[test]
+    fn poison_detection() {
+        let clique: HashSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        assert!(is_poisoned(&AsPath::from_u32s([9, 1, 7, 2, 8]), &clique));
+        assert!(!is_poisoned(&AsPath::from_u32s([9, 1, 2, 8]), &clique));
+        assert!(!is_poisoned(&AsPath::from_u32s([9, 1, 7, 8]), &clique));
+        assert!(!is_poisoned(&AsPath::from_u32s([1, 7, 8]), &clique));
+        // Same clique AS twice would be a loop, caught by S1, not here.
+    }
+
+    #[test]
+    fn discard_poisoned_counts() {
+        let clique: HashSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        let mut report = InferenceReport::default();
+        let kept = discard_poisoned(paths(&[&[9, 1, 7, 2], &[9, 1, 2, 8]]), &clique, &mut report);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(report.discarded_poisoned, 1);
+    }
+
+    #[test]
+    fn topdown_infers_descending_chain() {
+        // Path 9 → 1 → 5 → 7: clique {1}; visiting 1 is implicit (clique
+        // pre-visited); when 5 is visited, 1 (before it) is visited and 7
+        // (after) is not → infer 5→7 p2c. The 1→5 link is inferred when
+        // visiting 1?? — no: clique members are pre-visited, so the walk
+        // happens when z=1 is dequeued in rank order with hops[i-1]=9
+        // unvisited… 9 is ranked *lower*. The chain 1→5→7 is instead
+        // inferred when visiting z=5: i=2, hops[1]=1 visited → walk infers
+        // (5,7). The (1,5) link needs a path where 1 is preceded by a
+        // visited AS: add a second clique member 2 and a path 2 1 5.
+        let raw: Vec<&[u32]> = vec![&[9, 2, 1, 5, 7], &[9, 1, 5, 7]];
+        let degrees = degrees_for(&raw);
+        let clique: HashSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        let mut rels = RelationshipMap::new();
+        rels.insert_p2p(Asn(1), Asn(2));
+        let mut report = InferenceReport::default();
+        infer_topdown(&paths(&raw), &degrees, &clique, &mut rels, &mut report);
+        assert!(rels.is_c2p(Asn(5), Asn(1)), "5 should be 1's customer");
+        assert!(rels.is_c2p(Asn(7), Asn(5)), "7 should be 5's customer");
+        assert_eq!(report.c2p_from_topdown, 2);
+        assert_eq!(report.conflicts, 0);
+    }
+
+    #[test]
+    fn topdown_does_not_classify_peak_link() {
+        // 9 → 5 → 1: ascending toward the clique; the 9–5 and 5–1 links
+        // must NOT be inferred by the top-down walk (no visited AS
+        // precedes 5 when it is visited… 1 comes *after* 5 here).
+        let raw: Vec<&[u32]> = vec![&[9, 5, 1]];
+        let degrees = degrees_for(&raw);
+        let clique: HashSet<Asn> = [Asn(1)].into_iter().collect();
+        let mut rels = RelationshipMap::new();
+        let mut report = InferenceReport::default();
+        infer_topdown(&paths(&raw), &degrees, &clique, &mut rels, &mut report);
+        assert_eq!(rels.len(), 0);
+        assert_eq!(report.c2p_from_topdown, 0);
+    }
+
+    #[test]
+    fn topdown_conflict_stops_walk() {
+        let raw: Vec<&[u32]> = vec![&[9, 2, 1, 5, 7]];
+        let degrees = degrees_for(&raw);
+        let clique: HashSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        let mut rels = RelationshipMap::new();
+        // Pre-classify 5–7 *against* the walk: 5 is 7's customer.
+        rels.insert_c2p(Asn(5), Asn(7));
+        let mut report = InferenceReport::default();
+        infer_topdown(&paths(&raw), &degrees, &clique, &mut rels, &mut report);
+        // Walk inferred (1,5) then hit the conflict on (5,7); later
+        // visits may re-encounter the same conflict.
+        assert!(rels.is_c2p(Asn(5), Asn(1)));
+        assert!(report.conflicts >= 1);
+        // The conflicting link retains its earlier classification.
+        assert!(rels.is_c2p(Asn(5), Asn(7)));
+    }
+
+    #[test]
+    fn stub_clique_links_become_c2p() {
+        let raw: Vec<&[u32]> = vec![&[9, 1, 5], &[9, 1, 6]];
+        let degrees = degrees_for(&raw);
+        let clique: HashSet<Asn> = [Asn(1)].into_iter().collect();
+        let mut rels = RelationshipMap::new();
+        let mut report = InferenceReport::default();
+        infer_stub_clique(&paths(&raw), &degrees, &clique, &mut rels, &mut report);
+        // 5, 6, 9 are stubs adjacent to clique member 1.
+        assert!(rels.is_c2p(Asn(5), Asn(1)));
+        assert!(rels.is_c2p(Asn(6), Asn(1)));
+        assert!(rels.is_c2p(Asn(9), Asn(1)));
+        assert_eq!(report.c2p_stub_clique, 3);
+    }
+
+    #[test]
+    fn remaining_links_become_p2p() {
+        let raw: Vec<&[u32]> = vec![&[9, 5, 7]];
+        let mut rels = RelationshipMap::new();
+        rels.insert_c2p(Asn(7), Asn(5));
+        let mut report = InferenceReport::default();
+        assign_remaining_p2p(&paths(&raw), &mut rels, &mut report);
+        assert!(rels.is_p2p(Asn(9), Asn(5)));
+        assert!(rels.is_c2p(Asn(7), Asn(5)), "existing inference untouched");
+        assert_eq!(report.p2p_assigned, 1);
+    }
+
+    #[test]
+    fn anomaly_repair_demotes_giant_customers() {
+        // Transit degrees: make 5 huge and 7 tiny via synthetic paths.
+        let raw: Vec<&[u32]> = vec![
+            &[90, 5, 91],
+            &[92, 5, 93],
+            &[94, 5, 95],
+            &[96, 5, 97],
+            &[98, 5, 99],
+            &[80, 5, 81],
+            &[82, 5, 83],
+            &[84, 5, 85],
+            &[86, 5, 87],
+            &[88, 5, 89],
+            &[66, 5, 67],
+            &[68, 5, 69],
+            &[70, 7, 71], // 7 transits a little
+        ];
+        let degrees = degrees_for(&raw);
+        assert!(degrees.transit_degree(Asn(5)) >= 20);
+        assert_eq!(degrees.transit_degree(Asn(7)), 2);
+        let mut rels = RelationshipMap::new();
+        rels.insert_c2p(Asn(5), Asn(7)); // giant customer of a minnow
+        let mut report = InferenceReport::default();
+        let cfg = InferenceConfig::default();
+        repair_anomalies(&degrees, &cfg, &mut rels, &mut report);
+        assert!(rels.is_p2p(Asn(5), Asn(7)));
+        assert_eq!(report.repaired_anomalies, 1);
+    }
+
+    #[test]
+    fn providerless_transit_gets_a_provider() {
+        // 5 transits (appears mid-path) but has no inferred provider;
+        // 3 is its higher-ranked frequent neighbor.
+        let raw: Vec<&[u32]> = vec![
+            &[9, 3, 5, 7],
+            &[8, 3, 5, 6],
+            &[4, 3, 2, 11],
+            &[12, 3, 13, 14],
+        ];
+        let degrees = degrees_for(&raw);
+        assert!(degrees.transit_degree(Asn(3)) > degrees.transit_degree(Asn(5)));
+        let clique: HashSet<Asn> = HashSet::new();
+        let mut rels = RelationshipMap::new();
+        let mut report = InferenceReport::default();
+        infer_providerless(&paths(&raw), &degrees, &clique, &mut rels, &mut report);
+        assert!(rels.is_c2p(Asn(5), Asn(3)), "{rels:?}");
+        assert!(report.c2p_providerless >= 1);
+    }
+
+    #[test]
+    fn cycle_audit_counts_only_cycles() {
+        let mut rels = RelationshipMap::new();
+        rels.insert_c2p(Asn(1), Asn(2));
+        rels.insert_c2p(Asn(2), Asn(3));
+        assert_eq!(audit_cycles(&rels), 0);
+        rels.insert_c2p(Asn(3), Asn(1)); // 1→2→3→1
+        assert_eq!(audit_cycles(&rels), 3);
+        rels.insert_c2p(Asn(9), Asn(1)); // dangling customer, not in cycle
+        assert_eq!(audit_cycles(&rels), 3);
+    }
+
+    #[test]
+    fn vp_provider_inference_uses_share() {
+        use crate::sanitize::{sanitize, SanitizeConfig};
+        // VP 100 sees 10 prefixes: 8 via neighbor 5, 2 via neighbor 6.
+        let mut ps = PathSet::new();
+        for i in 0..8u32 {
+            ps.push(PathSample {
+                vp: Asn(100),
+                prefix: Ipv4Prefix::new(i << 8, 24).unwrap(),
+                path: AsPath::from_u32s([100, 5, 50 + i]),
+            });
+        }
+        for i in 8..10u32 {
+            ps.push(PathSample {
+                vp: Asn(100),
+                prefix: Ipv4Prefix::new(i << 8, 24).unwrap(),
+                path: AsPath::from_u32s([100, 6, 50 + i]),
+            });
+        }
+        let sanitized = sanitize(&ps, &SanitizeConfig::default());
+        let degrees = DegreeTable::compute(&sanitized);
+        let mut rels = RelationshipMap::new();
+        let mut report = InferenceReport::default();
+        let cfg = InferenceConfig::default();
+        infer_vp_providers(&sanitized, &degrees, &cfg, &mut rels, &mut report);
+        assert!(rels.is_c2p(Asn(100), Asn(5)), "80% share ⇒ provider");
+        assert_eq!(rels.get(Asn(100), Asn(6)), None, "20% share ⇒ unknown");
+        assert_eq!(report.c2p_from_vps, 1);
+    }
+}

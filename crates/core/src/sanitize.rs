@@ -1,0 +1,228 @@
+//! Step S1 — AS-path sanitization.
+//!
+//! Real BGP data (and our simulator's artifact-injected output) contains
+//! paths that carry no relationship information or would actively mislead
+//! the inference: loops (poisoning or corruption), reserved/private ASNs,
+//! prepending, and IXP route-server ASNs that appear as an extra hop
+//! between the true peers. Sanitization normalizes every usable path and
+//! discards the rest, keeping counts of everything it did.
+
+use asrank_types::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Sanitizer configuration.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SanitizeConfig {
+    /// ASNs of IXP route servers to strip from paths. The paper removes
+    /// known IXP ASNs so that the two route-server clients appear
+    /// adjacent, as their business relationship actually is.
+    pub ixp_asns: HashSet<Asn>,
+}
+
+impl SanitizeConfig {
+    /// Sanitize with a known IXP route-server list.
+    pub fn with_ixps<I: IntoIterator<Item = Asn>>(ixps: I) -> Self {
+        SanitizeConfig {
+            ixp_asns: ixps.into_iter().collect(),
+        }
+    }
+}
+
+/// Counters describing what sanitization did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SanitizeReport {
+    /// Paths received.
+    pub input_paths: usize,
+    /// Paths surviving sanitization.
+    pub output_paths: usize,
+    /// Paths discarded for containing a loop.
+    pub discarded_loops: usize,
+    /// Paths discarded for containing a reserved/private/documentation ASN.
+    pub discarded_reserved: usize,
+    /// Paths discarded for being empty or single-hop after cleaning.
+    pub discarded_short: usize,
+    /// Paths that had prepending compressed.
+    pub compressed_prepending: usize,
+    /// Paths that had at least one IXP ASN stripped.
+    pub stripped_ixp: usize,
+}
+
+/// Sanitized dataset: cleaned samples plus the report.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizedPaths {
+    /// Cleaned observations (loop-free, prepending-free, routable ASNs,
+    /// IXP hops removed; ≥ 2 hops each).
+    pub samples: Vec<PathSample>,
+    /// What happened during cleaning.
+    pub report: SanitizeReport,
+}
+
+impl SanitizedPaths {
+    /// Iterate over the cleaned AS paths.
+    pub fn paths(&self) -> impl Iterator<Item = &AsPath> {
+        self.samples.iter().map(|s| &s.path)
+    }
+
+    /// Distinct links observed across all cleaned paths.
+    pub fn links(&self) -> HashSet<AsLink> {
+        let mut out = HashSet::new();
+        for p in self.paths() {
+            for (a, b) in p.links() {
+                out.insert(AsLink::new(a, b));
+            }
+        }
+        out
+    }
+}
+
+/// Sanitize one path. Returns `None` (with the reason recorded in
+/// `report`) when the path must be discarded.
+fn sanitize_path(
+    path: &AsPath,
+    cfg: &SanitizeConfig,
+    report: &mut SanitizeReport,
+) -> Option<AsPath> {
+    // Reserved ASNs anywhere make the whole path suspect: poisoners use
+    // private ASNs precisely because they never appear legitimately.
+    if !path.all_routable() {
+        report.discarded_reserved += 1;
+        return None;
+    }
+
+    let compressed = path.compress_prepending();
+    if compressed.len() != path.len() {
+        report.compressed_prepending += 1;
+    }
+
+    // Strip IXP route-server hops *after* compression so the two clients
+    // become adjacent.
+    let mut hops: Vec<Asn> = compressed.0;
+    if !cfg.ixp_asns.is_empty() {
+        let before = hops.len();
+        hops.retain(|a| !cfg.ixp_asns.contains(a));
+        if hops.len() != before {
+            report.stripped_ixp += 1;
+        }
+    }
+
+    // Stripping can create new adjacency duplicates (A RS A never occurs
+    // in practice, but be safe) — recompress.
+    let cleaned = AsPath(hops).compress_prepending();
+
+    if cleaned.has_loop() {
+        report.discarded_loops += 1;
+        return None;
+    }
+    if cleaned.len() < 2 {
+        report.discarded_short += 1;
+        return None;
+    }
+    Some(cleaned)
+}
+
+/// Sanitize a whole path set (S1 of the pipeline).
+pub fn sanitize(paths: &PathSet, cfg: &SanitizeConfig) -> SanitizedPaths {
+    let mut report = SanitizeReport {
+        input_paths: paths.len(),
+        ..Default::default()
+    };
+    let mut samples = Vec::with_capacity(paths.len());
+    for s in paths.iter() {
+        if let Some(clean) = sanitize_path(&s.path, cfg, &mut report) {
+            samples.push(PathSample {
+                vp: s.vp,
+                prefix: s.prefix,
+                path: clean,
+            });
+        }
+    }
+    report.output_paths = samples.len();
+    SanitizedPaths { samples, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(paths: &[&[u32]]) -> PathSet {
+        paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_paths_pass_through() {
+        let out = sanitize(
+            &ps(&[&[1, 2, 3], &[4, 5, 6, 7]]),
+            &SanitizeConfig::default(),
+        );
+        assert_eq!(out.samples.len(), 2);
+        assert_eq!(out.report.output_paths, 2);
+        assert_eq!(out.report.discarded_loops, 0);
+    }
+
+    #[test]
+    fn loops_discarded() {
+        let out = sanitize(&ps(&[&[1, 2, 1], &[1, 2, 3]]), &SanitizeConfig::default());
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.report.discarded_loops, 1);
+    }
+
+    #[test]
+    fn reserved_asns_discarded() {
+        let out = sanitize(
+            &ps(&[&[1, 64512, 3], &[1, 0, 3], &[1, 23456, 3]]),
+            &SanitizeConfig::default(),
+        );
+        assert!(out.samples.is_empty());
+        assert_eq!(out.report.discarded_reserved, 3);
+    }
+
+    #[test]
+    fn prepending_compressed_and_counted() {
+        let out = sanitize(&ps(&[&[1, 2, 2, 2, 3]]), &SanitizeConfig::default());
+        assert_eq!(out.samples[0].path, AsPath::from_u32s([1, 2, 3]));
+        assert_eq!(out.report.compressed_prepending, 1);
+    }
+
+    #[test]
+    fn ixp_asns_stripped() {
+        let cfg = SanitizeConfig::with_ixps([Asn(900)]);
+        let out = sanitize(&ps(&[&[1, 900, 2, 3]]), &cfg);
+        assert_eq!(out.samples[0].path, AsPath::from_u32s([1, 2, 3]));
+        assert_eq!(out.report.stripped_ixp, 1);
+    }
+
+    #[test]
+    fn ixp_stripping_can_rescue_loopish_paths() {
+        // 1 900 1 2: after stripping 900, "1 1 2" compresses to "1 2".
+        let cfg = SanitizeConfig::with_ixps([Asn(900)]);
+        let out = sanitize(&ps(&[&[1, 900, 1, 2]]), &cfg);
+        assert_eq!(out.samples.len(), 1);
+        assert_eq!(out.samples[0].path, AsPath::from_u32s([1, 2]));
+    }
+
+    #[test]
+    fn short_paths_discarded() {
+        let cfg = SanitizeConfig::with_ixps([Asn(900)]);
+        let out = sanitize(&ps(&[&[1, 900], &[5, 5, 5]]), &cfg);
+        assert!(out.samples.is_empty());
+        assert_eq!(out.report.discarded_short, 2);
+    }
+
+    #[test]
+    fn links_collects_unique_adjacencies() {
+        let out = sanitize(&ps(&[&[1, 2, 3], &[3, 2, 1]]), &SanitizeConfig::default());
+        let links = out.links();
+        assert_eq!(links.len(), 2);
+        assert!(links.contains(&AsLink::new(Asn(1), Asn(2))));
+        assert!(links.contains(&AsLink::new(Asn(2), Asn(3))));
+    }
+}

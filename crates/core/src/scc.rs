@@ -1,0 +1,161 @@
+//! Iterative Tarjan strongly-connected components.
+//!
+//! The inferred c2p digraph *should* be acyclic, but inference errors can
+//! produce cycles; both the cone computation (which must collapse them to
+//! make the transitive closure well-defined) and the S11 audit (which
+//! must count them) need exact SCCs. The implementation is iterative —
+//! recursion would overflow on the deep customer chains of a 40k-AS
+//! topology.
+
+/// Strongly-connected components of a digraph given as adjacency lists.
+#[derive(Debug, Clone)]
+pub struct Scc {
+    /// Component id of each node (dense, arbitrary order).
+    pub comp: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<u32>,
+}
+
+impl Scc {
+    /// True when `v` lies on a cycle (its component has ≥ 2 nodes, or it
+    /// has a self-loop — self-loops cannot occur in c2p graphs, so size
+    /// alone suffices here).
+    pub fn on_cycle(&self, v: usize) -> bool {
+        self.sizes[self.comp[v] as usize] >= 2
+    }
+}
+
+/// Compute SCCs with an iterative Tarjan.
+pub fn tarjan(n: usize, adj: &[Vec<u32>]) -> Scc {
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index: u32 = 0;
+    let mut comp_count: u32 = 0;
+    let mut sizes: Vec<u32> = Vec::new();
+
+    // Explicit DFS frames: (node, next edge offset).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNSET {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start as usize] = next_index;
+        lowlink[start as usize] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start as usize] = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            let edges = &adj[v as usize];
+            if *ei < edges.len() {
+                let w = edges[*ei];
+                *ei += 1;
+                if index[w as usize] == UNSET {
+                    index[w as usize] = next_index;
+                    lowlink[w as usize] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w as usize] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    // v roots a component.
+                    let mut size = 0u32;
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = comp_count;
+                        size += 1;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sizes.push(size);
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+
+    Scc {
+        comp,
+        count: comp_count as usize,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adj(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<u32>> {
+        let mut a = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            a[u as usize].push(v);
+        }
+        a
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let a = adj(4, &[(0, 1), (1, 2), (0, 3)]);
+        let s = tarjan(4, &a);
+        assert_eq!(s.count, 4);
+        assert!((0..4).all(|v| !s.on_cycle(v)));
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let a = adj(4, &[(0, 1), (1, 2), (2, 0), (3, 0)]);
+        let s = tarjan(4, &a);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.comp[0], s.comp[1]);
+        assert_eq!(s.comp[1], s.comp[2]);
+        assert_ne!(s.comp[3], s.comp[0]);
+        assert!(s.on_cycle(0) && s.on_cycle(1) && s.on_cycle(2));
+        assert!(!s.on_cycle(3));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge_stay_separate() {
+        // 0↔1 and 3↔4 with a bridge 1→2→3: three components {0,1}, {2},
+        // {3,4}; node 2 is not on a cycle.
+        let a = adj(5, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 3)]);
+        let s = tarjan(5, &a);
+        assert_eq!(s.comp[0], s.comp[1]);
+        assert_eq!(s.comp[3], s.comp[4]);
+        assert_ne!(s.comp[0], s.comp[3]);
+        assert!(!s.on_cycle(2));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-node chain — a recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let a = adj(n, &edges);
+        let s = tarjan(n, &a);
+        assert_eq!(s.count, n);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = tarjan(0, &[]);
+        assert_eq!(s.count, 0);
+    }
+}

@@ -1,0 +1,372 @@
+//! BGP path attributes (RFC 4271 §4.3, RFC 6793).
+//!
+//! Only the attributes the reproduction needs are given typed forms;
+//! everything else round-trips as [`PathAttribute::Unknown`] so no
+//! information is lost when re-encoding a file.
+
+use crate::error::MrtError;
+use crate::wire::{put_u16, put_u32, Cursor};
+use asrank_types::{AsPath, Asn};
+
+/// Attribute flag bit: optional.
+pub const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag bit: transitive.
+pub const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag bit: extended (2-byte) length.
+pub const FLAG_EXTENDED: u8 = 0x10;
+
+const TYPE_ORIGIN: u8 = 1;
+const TYPE_AS_PATH: u8 = 2;
+const TYPE_NEXT_HOP: u8 = 3;
+const TYPE_MED: u8 = 4;
+
+/// One segment of an `AS_PATH` attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsPathSegment {
+    /// Ordered sequence of ASNs (`AS_SEQUENCE`).
+    Sequence(Vec<Asn>),
+    /// Unordered set of ASNs (`AS_SET`, from aggregation).
+    Set(Vec<Asn>),
+}
+
+impl AsPathSegment {
+    /// The ASNs in the segment, in stored order.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            AsPathSegment::Sequence(v) | AsPathSegment::Set(v) => v,
+        }
+    }
+}
+
+/// A decoded BGP path attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathAttribute {
+    /// `ORIGIN` (type 1): 0 = IGP, 1 = EGP, 2 = INCOMPLETE.
+    Origin(u8),
+    /// `AS_PATH` (type 2) with 4-byte ASNs (RFC 6793 encoding, as used in
+    /// TABLE_DUMP_V2 and BGP4MP_MESSAGE_AS4).
+    AsPath(Vec<AsPathSegment>),
+    /// `NEXT_HOP` (type 3): IPv4 address in host byte order.
+    NextHop(u32),
+    /// `MULTI_EXIT_DISC` (type 4).
+    Med(u32),
+    /// Any other attribute, preserved verbatim.
+    Unknown {
+        /// Original flag octet.
+        flags: u8,
+        /// Attribute type code.
+        type_code: u8,
+        /// Raw attribute value bytes.
+        value: Vec<u8>,
+    },
+}
+
+impl PathAttribute {
+    /// Build the conventional `AS_PATH` attribute for a plain sequence.
+    pub fn as_path_sequence(path: &AsPath) -> PathAttribute {
+        PathAttribute::AsPath(vec![AsPathSegment::Sequence(path.0.clone())])
+    }
+
+    /// If this is an `AS_PATH`, flatten it to an [`AsPath`]
+    /// (sets contribute their members in stored order, matching how AS
+    /// topology studies treat aggregated segments).
+    pub fn flatten_as_path(&self) -> Option<AsPath> {
+        match self {
+            PathAttribute::AsPath(segs) => {
+                let mut v = Vec::new();
+                for s in segs {
+                    v.extend_from_slice(s.asns());
+                }
+                Some(AsPath(v))
+            }
+            _ => None,
+        }
+    }
+
+    /// Encode this attribute, appending to `out` (4-byte ASNs).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        self.encode_sized(out, true)
+    }
+
+    /// Encode with explicit ASN width: `as4 = false` produces the legacy
+    /// 2-byte `AS_PATH` encoding used by `TABLE_DUMP` (v1) records; ASNs
+    /// above 65535 are replaced by `AS_TRANS` (23456), as RFC 6793
+    /// speakers do.
+    pub fn encode_sized(&self, out: &mut Vec<u8>, as4: bool) {
+        let (flags, type_code, value): (u8, u8, Vec<u8>) = match self {
+            PathAttribute::Origin(v) => (FLAG_TRANSITIVE, TYPE_ORIGIN, vec![*v]),
+            PathAttribute::AsPath(segs) => {
+                let mut v = Vec::new();
+                for seg in segs {
+                    let (code, asns) = match seg {
+                        AsPathSegment::Set(a) => (1u8, a),
+                        AsPathSegment::Sequence(a) => (2u8, a),
+                    };
+                    v.push(code);
+                    v.push(asns.len().min(255) as u8);
+                    for asn in asns.iter().take(255) {
+                        if as4 {
+                            put_u32(&mut v, asn.0);
+                        } else {
+                            let short = if asn.0 > u16::MAX as u32 {
+                                23456 // AS_TRANS
+                            } else {
+                                asn.0 as u16
+                            };
+                            put_u16(&mut v, short);
+                        }
+                    }
+                }
+                (FLAG_TRANSITIVE, TYPE_AS_PATH, v)
+            }
+            PathAttribute::NextHop(ip) => {
+                (FLAG_TRANSITIVE, TYPE_NEXT_HOP, ip.to_be_bytes().to_vec())
+            }
+            PathAttribute::Med(v) => (FLAG_OPTIONAL, TYPE_MED, v.to_be_bytes().to_vec()),
+            PathAttribute::Unknown {
+                flags,
+                type_code,
+                value,
+            } => (*flags, *type_code, value.clone()),
+        };
+        let extended = value.len() > 255 || flags & FLAG_EXTENDED != 0;
+        out.push(if extended {
+            flags | FLAG_EXTENDED
+        } else {
+            flags & !FLAG_EXTENDED
+        });
+        out.push(type_code);
+        if extended {
+            put_u16(out, value.len() as u16);
+        } else {
+            out.push(value.len() as u8);
+        }
+        out.extend_from_slice(&value);
+    }
+
+    /// Decode one attribute from the cursor (4-byte ASNs).
+    pub fn decode(c: &mut Cursor<'_>) -> Result<PathAttribute, MrtError> {
+        Self::decode_sized(c, true)
+    }
+
+    /// Decode with explicit ASN width (see [`Self::encode_sized`]).
+    pub fn decode_sized(c: &mut Cursor<'_>, as4: bool) -> Result<PathAttribute, MrtError> {
+        let flags = c.u8("attr flags")?;
+        let type_code = c.u8("attr type")?;
+        let len = if flags & FLAG_EXTENDED != 0 {
+            c.u16("attr ext length")? as usize
+        } else {
+            c.u8("attr length")? as usize
+        };
+        let mut body = c.sub(len, "attr value")?;
+        match type_code {
+            TYPE_ORIGIN => {
+                let v = body.u8("origin value")?;
+                if v > 2 {
+                    return Err(MrtError::BadValue {
+                        context: "origin value",
+                        value: v as u64,
+                    });
+                }
+                Ok(PathAttribute::Origin(v))
+            }
+            TYPE_AS_PATH => {
+                let mut segs = Vec::new();
+                while !body.is_empty() {
+                    let seg_type = body.u8("as_path segment type")?;
+                    let count = body.u8("as_path segment count")? as usize;
+                    let mut asns = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let v = if as4 {
+                            body.u32("as_path asn")?
+                        } else {
+                            body.u16("as_path asn16")? as u32
+                        };
+                        asns.push(Asn(v));
+                    }
+                    segs.push(match seg_type {
+                        1 => AsPathSegment::Set(asns),
+                        2 => AsPathSegment::Sequence(asns),
+                        other => {
+                            return Err(MrtError::BadValue {
+                                context: "as_path segment type",
+                                value: other as u64,
+                            })
+                        }
+                    });
+                }
+                Ok(PathAttribute::AsPath(segs))
+            }
+            TYPE_NEXT_HOP => Ok(PathAttribute::NextHop(body.u32("next_hop")?)),
+            TYPE_MED => Ok(PathAttribute::Med(body.u32("med")?)),
+            _ => Ok(PathAttribute::Unknown {
+                flags,
+                type_code,
+                value: body.take(body.remaining(), "unknown attr")?.to_vec(),
+            }),
+        }
+    }
+
+    /// Decode a whole attribute block of `len` bytes (4-byte ASNs).
+    pub fn decode_block(c: &mut Cursor<'_>, len: usize) -> Result<Vec<PathAttribute>, MrtError> {
+        Self::decode_block_sized(c, len, true)
+    }
+
+    /// Decode a whole attribute block with explicit ASN width.
+    pub fn decode_block_sized(
+        c: &mut Cursor<'_>,
+        len: usize,
+        as4: bool,
+    ) -> Result<Vec<PathAttribute>, MrtError> {
+        let mut block = c.sub(len, "attribute block")?;
+        let mut attrs = Vec::new();
+        while !block.is_empty() {
+            attrs.push(PathAttribute::decode_sized(&mut block, as4)?);
+        }
+        Ok(attrs)
+    }
+
+    /// Encode a list of attributes, returning the block.
+    pub fn encode_block(attrs: &[PathAttribute]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for a in attrs {
+            a.encode(&mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(attr: PathAttribute) -> PathAttribute {
+        let mut buf = Vec::new();
+        attr.encode(&mut buf);
+        let mut c = Cursor::new(&buf);
+        let out = PathAttribute::decode(&mut c).unwrap();
+        assert!(c.is_empty(), "decode must consume the whole encoding");
+        out
+    }
+
+    #[test]
+    fn origin_roundtrip() {
+        for v in 0..=2u8 {
+            assert_eq!(
+                roundtrip(PathAttribute::Origin(v)),
+                PathAttribute::Origin(v)
+            );
+        }
+    }
+
+    #[test]
+    fn origin_rejects_bad_value() {
+        let mut buf = Vec::new();
+        PathAttribute::Origin(0).encode(&mut buf);
+        let n = buf.len();
+        buf[n - 1] = 7; // corrupt the value
+        assert!(matches!(
+            PathAttribute::decode(&mut Cursor::new(&buf)),
+            Err(MrtError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn as_path_roundtrip_with_set_and_sequence() {
+        let attr = PathAttribute::AsPath(vec![
+            AsPathSegment::Sequence(vec![Asn(7018), Asn(3356), Asn(65000)]),
+            AsPathSegment::Set(vec![Asn(1), Asn(2)]),
+        ]);
+        assert_eq!(roundtrip(attr.clone()), attr);
+    }
+
+    #[test]
+    fn flatten_merges_segments() {
+        let attr = PathAttribute::AsPath(vec![
+            AsPathSegment::Sequence(vec![Asn(10), Asn(20)]),
+            AsPathSegment::Set(vec![Asn(30)]),
+        ]);
+        assert_eq!(
+            attr.flatten_as_path().unwrap(),
+            AsPath::from_u32s([10, 20, 30])
+        );
+        assert!(PathAttribute::Origin(0).flatten_as_path().is_none());
+    }
+
+    #[test]
+    fn next_hop_and_med_roundtrip() {
+        assert_eq!(
+            roundtrip(PathAttribute::NextHop(0x0a000001)),
+            PathAttribute::NextHop(0x0a000001)
+        );
+        assert_eq!(
+            roundtrip(PathAttribute::Med(4096)),
+            PathAttribute::Med(4096)
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_preserved() {
+        let attr = PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code: 32, // LARGE_COMMUNITY
+            value: vec![0xde, 0xad, 0xbe, 0xef],
+        };
+        assert_eq!(roundtrip(attr.clone()), attr);
+    }
+
+    #[test]
+    fn extended_length_used_for_big_values() {
+        let attr = PathAttribute::Unknown {
+            flags: FLAG_OPTIONAL,
+            type_code: 99,
+            value: vec![0xab; 300],
+        };
+        let mut buf = Vec::new();
+        attr.encode(&mut buf);
+        assert!(buf[0] & FLAG_EXTENDED != 0);
+        let decoded = PathAttribute::decode(&mut Cursor::new(&buf)).unwrap();
+        match decoded {
+            PathAttribute::Unknown { value, .. } => assert_eq!(value.len(), 300),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_as_path_is_error() {
+        let attr = PathAttribute::as_path_sequence(&AsPath::from_u32s([1, 2, 3]));
+        let mut buf = Vec::new();
+        attr.encode(&mut buf);
+        buf.truncate(buf.len() - 2);
+        // The attribute's *declared* length now exceeds the buffer.
+        assert!(PathAttribute::decode(&mut Cursor::new(&buf)).is_err());
+    }
+
+    #[test]
+    fn as2_roundtrip_and_as_trans_substitution() {
+        let attr = PathAttribute::AsPath(vec![AsPathSegment::Sequence(vec![
+            Asn(7018),
+            Asn(400_000), // needs AS_TRANS in 2-byte encoding
+        ])]);
+        let mut buf = Vec::new();
+        attr.encode_sized(&mut buf, false);
+        let got = PathAttribute::decode_sized(&mut Cursor::new(&buf), false).unwrap();
+        assert_eq!(
+            got.flatten_as_path().unwrap(),
+            AsPath::from_u32s([7018, 23456])
+        );
+    }
+
+    #[test]
+    fn decode_block_parses_multiple() {
+        let attrs = vec![
+            PathAttribute::Origin(0),
+            PathAttribute::as_path_sequence(&AsPath::from_u32s([9, 8])),
+            PathAttribute::NextHop(1),
+        ];
+        let block = PathAttribute::encode_block(&attrs);
+        let mut c = Cursor::new(&block);
+        let parsed = PathAttribute::decode_block(&mut c, block.len()).unwrap();
+        assert_eq!(parsed, attrs);
+    }
+}

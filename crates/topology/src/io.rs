@@ -1,0 +1,345 @@
+//! Topology bundle persistence.
+//!
+//! A [`GeneratedTopology`] is saved as a directory of line-oriented text
+//! files, deliberately shaped like the artifacts CAIDA publishes so the
+//! bundle is greppable and diffable:
+//!
+//! ```text
+//! <dir>/as-rel.txt    provider|customer|-1 / peer|peer|0 / sib|sib|2
+//! <dir>/classes.txt   asn|class|region
+//! <dir>/prefixes.txt  asn|prefix
+//! <dir>/ixps.txt      route_server_asn|region|member,member,…
+//! <dir>/meta.txt      seed and config provenance (informational)
+//! ```
+
+use crate::generator::{GeneratedTopology, Ixp};
+use crate::TopologyConfig;
+use asrank_types::prelude::*;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors raised while loading or saving a topology bundle.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line in one of the bundle files.
+    Malformed {
+        /// Which file.
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Io(e) => write!(f, "I/O error: {e}"),
+            BundleError::Malformed {
+                file,
+                line,
+                content,
+            } => write!(f, "malformed {file} line {line}: {content:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> Self {
+        BundleError::Io(e)
+    }
+}
+
+fn class_name(c: AsClass) -> &'static str {
+    match c {
+        AsClass::Tier1 => "tier1",
+        AsClass::LargeTransit => "large-transit",
+        AsClass::MidTransit => "mid-transit",
+        AsClass::SmallTransit => "small-transit",
+        AsClass::Stub => "stub",
+        AsClass::Content => "content",
+        AsClass::IxpRouteServer => "ixp-rs",
+    }
+}
+
+fn class_from(s: &str) -> Option<AsClass> {
+    Some(match s {
+        "tier1" => AsClass::Tier1,
+        "large-transit" => AsClass::LargeTransit,
+        "mid-transit" => AsClass::MidTransit,
+        "small-transit" => AsClass::SmallTransit,
+        "stub" => AsClass::Stub,
+        "content" => AsClass::Content,
+        "ixp-rs" => AsClass::IxpRouteServer,
+        _ => return None,
+    })
+}
+
+/// Save a topology bundle into `dir` (created if missing).
+pub fn save_bundle(topo: &GeneratedTopology, dir: &Path) -> Result<(), BundleError> {
+    std::fs::create_dir_all(dir)?;
+
+    // as-rel.txt via the core-compatible format (inline writer to avoid a
+    // dependency cycle with asrank-core).
+    let mut rel = std::fs::File::create(dir.join("as-rel.txt"))?;
+    writeln!(
+        rel,
+        "# ground truth | provider|customer|-1, peer|peer|0, sibling|sibling|2"
+    )?;
+    let mut lines: Vec<(u32, u32, i8)> = Vec::new();
+    for (link, r) in topo.ground_truth.relationships.iter() {
+        lines.push(match r {
+            LinkRel::AC2pB => (link.b.0, link.a.0, -1),
+            LinkRel::AP2cB => (link.a.0, link.b.0, -1),
+            LinkRel::P2p => (link.a.0, link.b.0, 0),
+            LinkRel::S2s => (link.a.0, link.b.0, 2),
+        });
+    }
+    lines.sort_unstable();
+    for (a, b, c) in lines {
+        writeln!(rel, "{a}|{b}|{c}")?;
+    }
+
+    let mut classes = std::fs::File::create(dir.join("classes.txt"))?;
+    writeln!(classes, "# asn|class|region")?;
+    let mut rows: Vec<(u32, AsClass, u8)> = topo
+        .ground_truth
+        .classes
+        .iter()
+        .map(|(&a, &c)| (a.0, c, topo.regions.get(&a).copied().unwrap_or(0)))
+        .collect();
+    rows.sort_unstable_by_key(|r| r.0);
+    for (a, c, r) in rows {
+        writeln!(classes, "{a}|{}|{r}", class_name(c))?;
+    }
+
+    let mut prefixes = std::fs::File::create(dir.join("prefixes.txt"))?;
+    writeln!(prefixes, "# asn|prefix")?;
+    let mut rows: Vec<(u32, Ipv4Prefix)> = topo
+        .ground_truth
+        .prefixes
+        .iter()
+        .flat_map(|(&a, ps)| ps.iter().map(move |&p| (a.0, p)))
+        .collect();
+    rows.sort_unstable();
+    for (a, p) in rows {
+        writeln!(prefixes, "{a}|{p}")?;
+    }
+
+    let mut ixps = std::fs::File::create(dir.join("ixps.txt"))?;
+    writeln!(ixps, "# route_server_asn|region|member,member,…")?;
+    for ixp in &topo.ixps {
+        let members: Vec<String> = ixp.members.iter().map(|m| m.0.to_string()).collect();
+        writeln!(
+            ixps,
+            "{}|{}|{}",
+            ixp.route_server.0,
+            ixp.region,
+            members.join(",")
+        )?;
+    }
+
+    let mut meta = std::fs::File::create(dir.join("meta.txt"))?;
+    writeln!(meta, "seed={}", topo.seed)?;
+    writeln!(meta, "ases={}", topo.ground_truth.as_count())?;
+    writeln!(meta, "links={}", topo.ground_truth.link_count())?;
+    Ok(())
+}
+
+fn parse_line_err(file: &'static str, line: usize, content: &str) -> BundleError {
+    BundleError::Malformed {
+        file,
+        line,
+        content: content.to_string(),
+    }
+}
+
+/// Load a topology bundle from `dir`.
+///
+/// The returned topology carries a default [`TopologyConfig`] (the bundle
+/// records provenance in `meta.txt` but the config itself is not
+/// round-tripped; nothing downstream of generation needs it).
+pub fn load_bundle(dir: &Path) -> Result<GeneratedTopology, BundleError> {
+    let mut gt = GroundTruth::default();
+    let mut regions = std::collections::HashMap::new();
+
+    // as-rel.txt
+    let f = BufReader::new(std::fs::File::open(dir.join("as-rel.txt"))?);
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split('|');
+        let (Some(a), Some(b), Some(c)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(parse_line_err("as-rel.txt", i + 1, &line));
+        };
+        let (Ok(a), Ok(b), Ok(c)) = (a.parse::<u32>(), b.parse::<u32>(), c.parse::<i8>()) else {
+            return Err(parse_line_err("as-rel.txt", i + 1, &line));
+        };
+        if a == b {
+            return Err(parse_line_err("as-rel.txt", i + 1, &line));
+        }
+        match c {
+            -1 => gt.relationships.insert_c2p(Asn(b), Asn(a)),
+            0 => gt.relationships.insert_p2p(Asn(a), Asn(b)),
+            2 => gt.relationships.insert_s2s(Asn(a), Asn(b)),
+            _ => return Err(parse_line_err("as-rel.txt", i + 1, &line)),
+        }
+    }
+
+    // classes.txt
+    let f = BufReader::new(std::fs::File::open(dir.join("classes.txt"))?);
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split('|');
+        let (Some(a), Some(c), Some(r)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(parse_line_err("classes.txt", i + 1, &line));
+        };
+        let (Ok(a), Some(c), Ok(r)) = (a.parse::<u32>(), class_from(c), r.parse::<u8>()) else {
+            return Err(parse_line_err("classes.txt", i + 1, &line));
+        };
+        gt.classes.insert(Asn(a), c);
+        regions.insert(Asn(a), r);
+    }
+
+    // prefixes.txt
+    let f = BufReader::new(std::fs::File::open(dir.join("prefixes.txt"))?);
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split('|');
+        let (Some(a), Some(p)) = (parts.next(), parts.next()) else {
+            return Err(parse_line_err("prefixes.txt", i + 1, &line));
+        };
+        let (Ok(a), Ok(p)) = (a.parse::<u32>(), p.parse::<Ipv4Prefix>()) else {
+            return Err(parse_line_err("prefixes.txt", i + 1, &line));
+        };
+        gt.prefixes.entry(Asn(a)).or_default().push(p);
+    }
+
+    // ixps.txt
+    let mut ixps = Vec::new();
+    let f = BufReader::new(std::fs::File::open(dir.join("ixps.txt"))?);
+    for (i, line) in f.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.split('|');
+        let (Some(rs), Some(region), Some(members)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(parse_line_err("ixps.txt", i + 1, &line));
+        };
+        let (Ok(rs), Ok(region)) = (rs.parse::<u32>(), region.parse::<u8>()) else {
+            return Err(parse_line_err("ixps.txt", i + 1, &line));
+        };
+        let members: Result<Vec<Asn>, _> = members
+            .split(',')
+            .filter(|m| !m.is_empty())
+            .map(|m| m.parse::<u32>().map(Asn))
+            .collect();
+        let Ok(members) = members else {
+            return Err(parse_line_err("ixps.txt", i + 1, &line));
+        };
+        ixps.push(Ixp {
+            route_server: Asn(rs),
+            region,
+            members,
+        });
+    }
+
+    // meta.txt (informational; tolerate absence of fields)
+    let mut seed = 0u64;
+    if let Ok(f) = std::fs::File::open(dir.join("meta.txt")) {
+        for line in BufReader::new(f).lines() {
+            let line = line?;
+            if let Some(v) = line.strip_prefix("seed=") {
+                seed = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    Ok(GeneratedTopology {
+        ground_truth: gt,
+        regions,
+        ixps,
+        config: TopologyConfig::default(),
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, TopologyConfig};
+
+    #[test]
+    fn bundle_roundtrip() {
+        let topo = generate(&TopologyConfig::tiny(), 5);
+        let dir = std::env::temp_dir().join(format!("asrank_bundle_{}", std::process::id()));
+        save_bundle(&topo, &dir).unwrap();
+        let back = load_bundle(&dir).unwrap();
+
+        assert_eq!(back.seed, topo.seed);
+        assert_eq!(back.ground_truth.as_count(), topo.ground_truth.as_count());
+        assert_eq!(
+            back.ground_truth.link_count(),
+            topo.ground_truth.link_count()
+        );
+        // Spot-check relationships and classes.
+        let mut orig: Vec<_> = topo.ground_truth.relationships.iter().collect();
+        let mut got: Vec<_> = back.ground_truth.relationships.iter().collect();
+        orig.sort_by_key(|(l, _)| (l.a, l.b));
+        got.sort_by_key(|(l, _)| (l.a, l.b));
+        assert_eq!(orig, got);
+        assert_eq!(back.ground_truth.classes, topo.ground_truth.classes);
+        assert_eq!(back.regions, topo.regions);
+        assert_eq!(back.ixps.len(), topo.ixps.len());
+        // Prefix sets match.
+        let count = |t: &GeneratedTopology| t.ground_truth.prefix_count();
+        assert_eq!(count(&back), count(&topo));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn malformed_bundle_is_rejected() {
+        let dir = std::env::temp_dir().join(format!("asrank_badbundle_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("as-rel.txt"), "1|1|0\n").unwrap();
+        std::fs::write(dir.join("classes.txt"), "").unwrap();
+        std::fs::write(dir.join("prefixes.txt"), "").unwrap();
+        std::fs::write(dir.join("ixps.txt"), "").unwrap();
+        let err = load_bundle(&dir).unwrap_err();
+        assert!(matches!(
+            err,
+            BundleError::Malformed {
+                file: "as-rel.txt",
+                ..
+            }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let dir = std::env::temp_dir().join("asrank_nonexistent_bundle_xyz");
+        assert!(matches!(load_bundle(&dir), Err(BundleError::Io(_))));
+    }
+}

@@ -1,0 +1,195 @@
+//! Weighted sampling with incremental weight updates.
+//!
+//! Preferential attachment draws millions of weighted samples while the
+//! weights themselves change after every draw (a provider that gains a
+//! customer becomes more attractive). A Fenwick (binary indexed) tree over
+//! the weights gives O(log n) sample *and* O(log n) weight update, versus
+//! O(n) for a rebuilt cumulative table.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A dynamically-updatable weighted sampler over items of type `T`.
+#[derive(Debug, Clone)]
+pub struct WeightedSampler<T> {
+    items: Vec<T>,
+    index: HashMap<T, usize>,
+    /// Fenwick tree of weights, 1-based internally.
+    tree: Vec<f64>,
+    total: f64,
+}
+
+impl<T: Copy + Eq + Hash> WeightedSampler<T> {
+    /// Create an empty sampler.
+    pub fn new() -> Self {
+        WeightedSampler {
+            items: Vec::new(),
+            index: HashMap::new(),
+            tree: vec![0.0],
+            total: 0.0,
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no item has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Insert `item` with initial `weight` (> 0). Inserting an existing
+    /// item adds to its weight instead.
+    pub fn insert(&mut self, item: T, weight: f64) {
+        assert!(weight > 0.0, "weights must be positive");
+        if self.index.contains_key(&item) {
+            self.add_weight(item, weight);
+            return;
+        }
+        let pos = self.items.len();
+        self.items.push(item);
+        self.index.insert(item, pos);
+        // Appending index i (1-based) to a Fenwick tree: the new node must
+        // be initialized with the sum of the sub-blocks it covers, i.e.
+        // tree[i] = w + Σ tree[j] for j walking down from i-1 to i-lowbit(i).
+        let i = pos + 1;
+        let mut v = weight;
+        let stop = i - (i & i.wrapping_neg());
+        let mut j = i - 1;
+        while j > stop {
+            v += self.tree[j];
+            j -= j & j.wrapping_neg();
+        }
+        self.tree.push(v);
+        self.total += weight;
+    }
+
+    /// Add `delta` to the weight of an existing item (no-op for unknown
+    /// items, so callers can reward without tracking membership).
+    pub fn add_weight(&mut self, item: T, delta: f64) {
+        if let Some(&pos) = self.index.get(&item) {
+            self.bump(pos, delta);
+        }
+    }
+
+    fn bump(&mut self, pos: usize, delta: f64) {
+        self.total += delta;
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sample an item proportionally to its current weight.
+    pub fn sample(&self, rng: &mut StdRng) -> Option<T> {
+        if self.items.is_empty() || self.total <= 0.0 {
+            return None;
+        }
+        let mut target = rng.random::<f64>() * self.total;
+        // Descend the Fenwick tree to find the smallest prefix whose
+        // cumulative weight exceeds `target`.
+        let mut pos = 0usize;
+        let mut mask = self.tree.len().next_power_of_two() >> 1;
+        while mask > 0 {
+            let next = pos + mask;
+            if next < self.tree.len() && self.tree[next] < target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // `pos` is 1-based-exclusive: item index = pos.
+        self.items
+            .get(pos)
+            .copied()
+            .or_else(|| self.items.last().copied())
+    }
+}
+
+impl<T: Copy + Eq + Hash> Default for WeightedSampler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sampler_returns_none() {
+        let s: WeightedSampler<u32> = WeightedSampler::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(s.sample(&mut rng).is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn single_item_always_sampled() {
+        let mut s = WeightedSampler::new();
+        s.insert(7u32, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(7));
+        }
+    }
+
+    #[test]
+    fn sampling_respects_weights() {
+        let mut s = WeightedSampler::new();
+        s.insert(1u32, 1.0);
+        s.insert(2u32, 9.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let twos = (0..n).filter(|_| s.sample(&mut rng) == Some(2)).count();
+        let frac = twos as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn add_weight_shifts_distribution() {
+        let mut s = WeightedSampler::new();
+        s.insert(1u32, 1.0);
+        s.insert(2u32, 1.0);
+        s.add_weight(1, 8.0); // now 9 : 1
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 50_000;
+        let ones = (0..n).filter(|_| s.sample(&mut rng) == Some(1)).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.02, "frac={frac}");
+    }
+
+    #[test]
+    fn duplicate_insert_accumulates() {
+        let mut s = WeightedSampler::new();
+        s.insert(5u32, 1.0);
+        s.insert(5u32, 2.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn add_weight_on_unknown_is_noop() {
+        let mut s: WeightedSampler<u32> = WeightedSampler::new();
+        s.add_weight(99, 5.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn many_items_all_reachable() {
+        let mut s = WeightedSampler::new();
+        for i in 0..257u32 {
+            s.insert(i, 1.0);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50_000 {
+            seen.insert(s.sample(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 257, "every item should be sampled eventually");
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for domain-model construction.
+
+use std::fmt;
+
+/// Errors produced when constructing domain values from untrusted input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypesError {
+    /// A prefix length above /32 was supplied.
+    InvalidPrefixLength(u8),
+    /// A textual prefix failed to parse.
+    InvalidPrefix(String),
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::InvalidPrefixLength(len) => {
+                write!(f, "invalid IPv4 prefix length /{len} (max /32)")
+            }
+            TypesError::InvalidPrefix(s) => write!(f, "invalid IPv4 prefix {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(TypesError::InvalidPrefixLength(40)
+            .to_string()
+            .contains("/40"));
+        assert!(TypesError::InvalidPrefix("x".into())
+            .to_string()
+            .contains("\"x\""));
+    }
+}

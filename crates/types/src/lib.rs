@@ -1,0 +1,56 @@
+//! # asrank-types
+//!
+//! Shared vocabulary for the `asrank` workspace — the Rust reproduction of
+//! *"AS Relationships, Customer Cones, and Validation"* (Luckie, Huffaker,
+//! Dhamdhere, Giotsas, claffy — ACM IMC 2013).
+//!
+//! This crate defines the domain model every other crate speaks:
+//!
+//! * [`Asn`] — an autonomous system number with the IANA special-range
+//!   classification the paper's sanitization step depends on;
+//! * [`Ipv4Prefix`] — the routed prefixes that BGP paths are observed for;
+//! * [`AsPath`] / [`PathSample`] / [`PathSet`] — observed BGP AS paths, the
+//!   sole input of the inference algorithm;
+//! * [`AsLink`] / [`LinkRel`] / [`RelationshipMap`] — inferred (or
+//!   ground-truth) business relationships between ASes;
+//! * [`GroundTruth`] — a complete annotated AS-level topology, produced by
+//!   the `as-topology-gen` substrate and used by the validation framework.
+//!
+//! Everything is plain data: `serde`-serializable, hash-friendly, and free
+//! of interior mutability, so datasets can be snapshotted to disk and
+//! experiment artifacts reproduced bit-for-bit.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod asn;
+pub mod error;
+pub mod graph;
+pub mod path;
+pub mod prefix;
+pub mod prefix6;
+pub mod relationship;
+pub mod trie;
+pub mod update;
+
+pub use asn::{Asn, AsnClass, AsnInterner};
+pub use error::TypesError;
+pub use graph::{AsClass, GroundTruth};
+pub use path::{AsPath, PathSample, PathSet};
+pub use prefix::Ipv4Prefix;
+pub use prefix6::Ipv6Prefix;
+pub use relationship::{AsLink, LinkRel, Orientation, RelationshipKind, RelationshipMap};
+pub use trie::PrefixTrie;
+pub use update::UpdateMessage;
+
+/// Convenience prelude re-exporting the types used by virtually every
+/// downstream module.
+pub mod prelude {
+    pub use crate::asn::{Asn, AsnClass, AsnInterner};
+    pub use crate::graph::{AsClass, GroundTruth};
+    pub use crate::path::{AsPath, PathSample, PathSet};
+    pub use crate::prefix::Ipv4Prefix;
+    pub use crate::relationship::{
+        AsLink, LinkRel, Orientation, RelationshipKind, RelationshipMap,
+    };
+}

@@ -1,0 +1,55 @@
+//! BGP update messages at the AS-path abstraction level.
+//!
+//! Collectors record two artifact kinds: RIB snapshots ([`crate::PathSet`])
+//! and *update streams* — the announcements and withdrawals a vantage
+//! point emits as routing reacts to events (link failures, depeerings,
+//! new prefixes). [`UpdateMessage`] is the shared vocabulary between the
+//! simulator (which produces updates by diffing snapshots around an
+//! event) and the MRT codec (which serializes them as `BGP4MP`).
+
+use crate::asn::Asn;
+use crate::path::AsPath;
+use crate::prefix::Ipv4Prefix;
+use serde::{Deserialize, Serialize};
+
+/// One logical BGP update from a vantage point: some prefixes withdrawn,
+/// some announced with a (shared or per-prefix) path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct UpdateMessage {
+    /// The vantage point emitting the update.
+    pub vp: Asn,
+    /// Prefixes no longer reachable.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Newly announced or re-announced prefixes with their AS paths
+    /// (VP first, origin last).
+    pub announced: Vec<(Ipv4Prefix, AsPath)>,
+}
+
+impl UpdateMessage {
+    /// True when the update carries nothing.
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.announced.is_empty()
+    }
+
+    /// Total prefixes touched.
+    pub fn churn(&self) -> usize {
+        self.withdrawn.len() + self.announced.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_counts_both_directions() {
+        let m = UpdateMessage {
+            vp: Asn(1),
+            withdrawn: vec!["10.0.0.0/8".parse().unwrap()],
+            announced: vec![("11.0.0.0/8".parse().unwrap(), AsPath::from_u32s([1, 2, 3]))],
+        };
+        assert_eq!(m.churn(), 2);
+        assert!(!m.is_empty());
+        assert!(UpdateMessage::default().is_empty());
+    }
+}

@@ -1,0 +1,84 @@
+//! Depeering study: sever the peering between two Tier-1s — the kind of
+//! dispute (Cogent/Level3, Sprint/Cogent…) that motivated relationship
+//! inference in the first place — derive the BGP update storm every
+//! vantage point would emit, serialize it as a BGP4MP stream, and
+//! measure the churn and path inflation the event causes.
+//!
+//! ```text
+//! cargo run --release --example depeering
+//! ```
+
+use asrank::bgpsim::{simulate_event, RoutingEvent, SimConfig, VpSelection};
+use asrank::mrt::{read_update_stream, write_update_stream};
+use asrank::topology::{generate, TopologyConfig};
+
+fn main() {
+    let seed = 777;
+    let topo = generate(&TopologyConfig::small(), seed);
+    let clique = topo.ground_truth.clique();
+    let (a, b) = (clique[0], clique[1]);
+    println!("depeering event: severing the {a} ↔ {b} Tier-1 peering\n");
+
+    let mut cfg = SimConfig::defaults(seed);
+    cfg.vp_selection = VpSelection::Count(25);
+    cfg.full_feed_fraction = 1.0;
+    let (before, after, updates) = simulate_event(&topo, RoutingEvent::LinkDown { a, b }, &cfg);
+
+    // Churn statistics.
+    let announced: usize = updates.iter().map(|m| m.announced.len()).sum();
+    let withdrawn: usize = updates.iter().map(|m| m.withdrawn.len()).sum();
+    println!(
+        "update storm: {} VPs affected, {announced} re-announcements, {withdrawn} withdrawals",
+        updates.len()
+    );
+
+    // Path inflation: average length before vs after, over re-announced
+    // prefixes.
+    let mut before_len = 0usize;
+    let mut after_len = 0usize;
+    let mut n = 0usize;
+    let old: std::collections::HashMap<_, _> = before
+        .paths
+        .iter()
+        .map(|s| ((s.vp, s.prefix), s.path.len()))
+        .collect();
+    for m in &updates {
+        for (prefix, path) in &m.announced {
+            if let Some(&ol) = old.get(&(m.vp, *prefix)) {
+                before_len += ol;
+                after_len += path.len();
+                n += 1;
+            }
+        }
+    }
+    if n > 0 {
+        println!(
+            "path inflation on rerouted prefixes: {:.2} → {:.2} hops (n={n})",
+            before_len as f64 / n as f64,
+            after_len as f64 / n as f64
+        );
+    }
+
+    // Unreachability: prefixes some VP lost entirely.
+    println!(
+        "reachability: {} → {} unreachable (VP, destination) pairs",
+        before.stats.unreachable_pairs, after.stats.unreachable_pairs
+    );
+
+    // Serialize the storm as a BGP4MP stream and read it back.
+    let path = std::env::temp_dir().join("asrank_depeering_updates.mrt");
+    let file = std::fs::File::create(&path).expect("create update file");
+    let records = write_update_stream(&updates, std::io::BufWriter::new(file), 1_366_000_000)
+        .expect("write updates");
+    let bytes = std::fs::metadata(&path).expect("stat").len();
+    println!(
+        "\nwrote {records} BGP4MP records ({:.1} KiB) to {}",
+        bytes as f64 / 1024.0,
+        path.display()
+    );
+    let file = std::fs::File::open(&path).expect("open update file");
+    let reread = read_update_stream(std::io::BufReader::new(file)).expect("read updates");
+    assert_eq!(reread, updates, "update stream must round-trip losslessly");
+    println!("re-read {} update messages: lossless ✓", reread.len());
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,100 @@
+//! Internet-scale run: a ~42 000-AS topology shaped like the April 2013
+//! Internet the paper measured, with 315 vantage points and the paper's
+//! full-feed share. Destination sampling keeps the propagation tractable
+//! on a laptop while preserving path structure.
+//!
+//! ```text
+//! cargo run --release --example internet_scale
+//! ```
+
+use asrank::bgpsim::{simulate, AnomalyConfig, SimConfig, VpSelection};
+use asrank::core::pipeline::{infer, InferenceConfig};
+use asrank::topology::{generate, TopologyConfig};
+use asrank::types::{AsClass, Asn};
+use asrank::validation::evaluate_against_truth;
+use std::time::Instant;
+
+fn main() {
+    let seed = 413; // April 2013
+
+    let t0 = Instant::now();
+    let topo = generate(&TopologyConfig::internet_2013(), seed);
+    println!(
+        "generated {} ASes / {} links / {} prefixes in {:.1?}",
+        topo.ground_truth.as_count(),
+        topo.ground_truth.link_count(),
+        topo.ground_truth.prefix_count(),
+        t0.elapsed()
+    );
+    let stubs = topo.ground_truth.ases_of_class(AsClass::Stub).len();
+    println!(
+        "stub share: {:.1}% (paper: ~85%)",
+        100.0 * stubs as f64 / topo.ground_truth.as_count() as f64
+    );
+
+    // Paper-scale collection with realistic artifacts.
+    let t1 = Instant::now();
+    let clique = topo.ground_truth.clique();
+    let sim = simulate(
+        &topo,
+        &SimConfig {
+            vp_selection: VpSelection::Count(315),
+            full_feed_fraction: 116.0 / 315.0,
+            anomalies: AnomalyConfig::realistic(clique.clone()),
+            destination_sample: Some(6_000),
+            threads: 0,
+            seed,
+        },
+    );
+    println!(
+        "simulated {} destinations → {} RIB entries ({} distinct paths) in {:.1?}",
+        sim.stats.destinations,
+        sim.paths.len(),
+        sim.paths.distinct_paths().len(),
+        t1.elapsed()
+    );
+    println!(
+        "artifacts injected: {} prepended, {} poisoned, {} with RS ASNs",
+        sim.stats.anomalies.prepended_paths,
+        sim.stats.anomalies.poisoned_paths,
+        sim.stats.anomalies.rs_inserted_paths,
+    );
+
+    let t2 = Instant::now();
+    let ixps: Vec<Asn> = topo.ixps.iter().map(|i| i.route_server).collect();
+    let inference = infer(&sim.paths, &InferenceConfig::with_ixps(ixps));
+    println!(
+        "\ninference in {:.1?}: {} links classified",
+        t2.elapsed(),
+        inference.report.total_links
+    );
+    println!("report: {:#?}", inference.report);
+
+    // Clique accuracy.
+    let hit = inference
+        .clique
+        .iter()
+        .filter(|a| clique.contains(a))
+        .count();
+    println!(
+        "clique: inferred {} / true {} / correct {}",
+        inference.clique.len(),
+        clique.len(),
+        hit
+    );
+
+    // Scoring against full ground truth.
+    let gt = evaluate_against_truth(&inference.relationships, &topo.ground_truth.relationships);
+    println!(
+        "\nc2p PPV {:.2}% (n={})   p2p PPV {:.2}% (n={})   coverage {:.1}%",
+        gt.c2p_ppv() * 100.0,
+        gt.c2p.1,
+        gt.p2p_ppv() * 100.0,
+        gt.p2p.1,
+        gt.coverage() * 100.0,
+    );
+    println!(
+        "paper headline for comparison: 99.6% c2p / 98.7% p2p (against its \
+         validation corpus)"
+    );
+}

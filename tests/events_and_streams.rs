@@ -1,0 +1,118 @@
+//! Integration: routing events, update-stream derivation, and BGP4MP
+//! serialization across crates.
+
+use asrank::bgpsim::{simulate, simulate_event, RoutingEvent, SimConfig, VpSelection};
+use asrank::mrt::{read_update_stream, write_update_stream};
+use asrank::topology::{generate, TopologyConfig};
+use asrank::types::prelude::*;
+
+fn cfg(seed: u64) -> SimConfig {
+    let mut c = SimConfig::defaults(seed);
+    c.vp_selection = VpSelection::Count(10);
+    c.full_feed_fraction = 1.0;
+    c
+}
+
+#[test]
+fn tier1_depeering_causes_reroutes_not_chaos() {
+    let topo = generate(&TopologyConfig::small(), 5);
+    let clique = topo.ground_truth.clique();
+    let (before, after, updates) = simulate_event(
+        &topo,
+        RoutingEvent::LinkDown {
+            a: clique[0],
+            b: clique[1],
+        },
+        &cfg(5),
+    );
+    // The RIBs must agree on VP sets (pinned selection).
+    assert_eq!(before.paths.vantage_points(), after.paths.vantage_points());
+    // Churn happens but stays bounded: most of the table is unaffected.
+    let churn: usize = updates.iter().map(|m| m.churn()).sum();
+    assert!(churn > 0, "a Tier-1 depeering must be visible");
+    assert!(
+        churn < before.paths.len() / 2,
+        "churn {churn} exceeds half the table ({})",
+        before.paths.len()
+    );
+    // Re-announced paths avoid the severed link.
+    for m in &updates {
+        for (_, path) in &m.announced {
+            for (x, y) in path.links() {
+                let severed =
+                    (x == clique[0] && y == clique[1]) || (x == clique[1] && y == clique[0]);
+                assert!(!severed, "severed link still in announced path {path}");
+            }
+        }
+    }
+}
+
+#[test]
+fn update_stream_file_roundtrip_via_bgp4mp() {
+    let topo = generate(&TopologyConfig::tiny(), 9);
+    let victim = *topo.ground_truth.prefixes.keys().min().unwrap();
+    let (_b, _a, updates) =
+        simulate_event(&topo, RoutingEvent::OriginDown { asn: victim }, &cfg(9));
+    let mut buf = Vec::new();
+    let records = write_update_stream(&updates, &mut buf, 1_000).unwrap();
+    assert!(records >= updates.len() as u64);
+    let back = read_update_stream(&buf[..]).unwrap();
+    assert_eq!(back, updates);
+}
+
+#[test]
+fn rib_plus_updates_reconstructs_post_event_table() {
+    // The operational use of update streams: applying them to the old
+    // RIB must yield the new RIB.
+    let topo = generate(&TopologyConfig::tiny(), 13);
+    let clique = topo.ground_truth.clique();
+    let (before, after, updates) = simulate_event(
+        &topo,
+        RoutingEvent::LinkDown {
+            a: clique[0],
+            b: clique[1],
+        },
+        &cfg(13),
+    );
+
+    // Index before-RIB, apply updates.
+    let mut table: std::collections::HashMap<(Asn, Ipv4Prefix), AsPath> = before
+        .paths
+        .iter()
+        .map(|s| ((s.vp, s.prefix), s.path.clone()))
+        .collect();
+    for m in &updates {
+        for p in &m.withdrawn {
+            table.remove(&(m.vp, *p));
+        }
+        for (p, path) in &m.announced {
+            table.insert((m.vp, *p), path.clone());
+        }
+    }
+    let reconstructed: std::collections::HashSet<PathSample> = table
+        .into_iter()
+        .map(|((vp, prefix), path)| PathSample { vp, prefix, path })
+        .collect();
+    let actual: std::collections::HashSet<PathSample> = after.paths.iter().cloned().collect();
+    assert_eq!(reconstructed, actual);
+}
+
+#[test]
+fn simulate_is_pure_with_respect_to_events() {
+    // apply_event must not mutate the input topology.
+    let topo = generate(&TopologyConfig::tiny(), 21);
+    let links_before = topo.ground_truth.link_count();
+    let clique = topo.ground_truth.clique();
+    let _ = asrank::bgpsim::apply_event(
+        &topo,
+        RoutingEvent::LinkDown {
+            a: clique[0],
+            b: clique[1],
+        },
+    );
+    assert_eq!(topo.ground_truth.link_count(), links_before);
+    // And two identical sims agree despite the event machinery existing.
+    let a = simulate(&topo, &cfg(21));
+    let b = simulate(&topo, &cfg(21));
+    assert_eq!(a.paths.len(), b.paths.len());
+}

@@ -1,0 +1,33 @@
+//! Medium-scale (10k-AS) end-to-end check. Ignored by default — run with
+//! `cargo test --release -- --ignored` (takes ~1 minute).
+
+use asrank::bgpsim::{simulate, SimConfig, VpSelection};
+use asrank::core::pipeline::{infer, InferenceConfig};
+use asrank::topology::{generate, TopologyConfig};
+use asrank::types::Asn;
+use asrank::validation::evaluate_against_truth;
+
+#[test]
+#[ignore = "slow; run explicitly with --ignored --release"]
+fn medium_scale_accuracy() {
+    let topo = generate(&TopologyConfig::medium(), 42);
+    let sim = simulate(
+        &topo,
+        &SimConfig {
+            vp_selection: VpSelection::Count(120),
+            full_feed_fraction: 116.0 / 315.0,
+            anomalies: Default::default(),
+            destination_sample: Some(4_000),
+            threads: 0,
+            seed: 42,
+        },
+    );
+    let ixps: Vec<Asn> = topo.ixps.iter().map(|i| i.route_server).collect();
+    let inference = infer(&sim.paths, &InferenceConfig::with_ixps(ixps));
+    let truth = topo.ground_truth.clique();
+    assert_eq!(inference.clique, truth, "clique must be exact at scale");
+    let r = evaluate_against_truth(&inference.relationships, &topo.ground_truth.relationships);
+    assert!(r.c2p_ppv() > 0.98, "c2p PPV {:.3}", r.c2p_ppv());
+    assert!(r.p2p_ppv() > 0.8, "p2p PPV {:.3}", r.p2p_ppv());
+    assert_eq!(r.phantom_links, 0);
+}
