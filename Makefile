@@ -1,0 +1,35 @@
+# Build/verify/bench entry points for the ASRank reproduction.
+
+CARGO ?= cargo
+# Absolute: cargo runs bench binaries with cwd at the package root, not
+# the workspace root, so a relative path would scatter the lines files.
+BENCH_LINES := $(CURDIR)/target/criterion-lines.json
+BENCH_OUT ?= BENCH.json
+# The four benches wired into the perf snapshot (the remaining benches —
+# clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
+BENCHES := cones sanitize pipeline propagation
+
+.PHONY: all build test bench clean
+
+all: build
+
+build:
+	$(CARGO) build --release
+
+test:
+	$(CARGO) test --workspace
+
+# Run the wired criterion benches with JSON-line capture, then assemble
+# the lines into a single $(BENCH_OUT) snapshot (medians + derived
+# speedup ratios). Override the output name per PR:
+#   make bench BENCH_OUT=BENCH_PR1.json
+bench:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	for b in $(BENCHES); do \
+		CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench $$b || exit 1; \
+	done
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+
+clean:
+	$(CARGO) clean

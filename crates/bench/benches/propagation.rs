@@ -2,7 +2,11 @@
 //! simulator's hot loop.
 
 use as_topology_gen::{generate, TopologyConfig};
-use bgp_sim::{propagate::compute_route_tree, PolicyGraph};
+use asrank_types::Parallelism;
+use bgp_sim::{
+    propagate::{compute_route_tree, compute_route_trees},
+    PolicyGraph,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -23,6 +27,14 @@ fn bench_propagation(c: &mut Criterion) {
                         black_box(compute_route_tree(g, d, None));
                     }
                 })
+            },
+        );
+        // Batch API fanning the same destinations over worker threads.
+        group.bench_with_input(
+            BenchmarkId::new("route_trees_batch", name),
+            &(&g, &dests),
+            |b, (g, dests)| {
+                b.iter(|| black_box(compute_route_trees(g, dests, None, Parallelism::auto())))
             },
         );
     }

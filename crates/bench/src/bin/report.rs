@@ -1,15 +1,123 @@
-//! `report` — regenerate any experiment table/figure analog.
+//! `report` — regenerate any experiment table/figure analog, or
+//! assemble criterion output into a benchmark snapshot.
 //!
 //! Usage:
 //! ```text
 //! report <e1|e2|…|e11|all> [--scale tiny|small|medium|internet] [--seed N]
+//! report bench-json <criterion-lines-file> <out.json>
 //! ```
+//!
+//! `bench-json` consumes the JSON-lines file the vendored criterion
+//! writes when `CRITERION_JSON` is set (one object per benchmark) and
+//! emits a single snapshot document with derived speedup ratios —
+//! `make bench` drives it to produce `BENCH_*.json`.
 
 use asrank_bench::experiments;
 use asrank_bench::harness::Scale;
 
+/// Pull a string field out of a flat single-line JSON object.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Pull a numeric field out of a flat single-line JSON object.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Assemble criterion JSON lines into one snapshot document.
+fn bench_json(input: &str, output: &str) -> i32 {
+    let raw = match std::fs::read_to_string(input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {input}: {e}");
+            return 1;
+        }
+    };
+    let lines: Vec<&str> = raw
+        .lines()
+        .map(str::trim)
+        .filter(|l| l.starts_with('{'))
+        .collect();
+    if lines.is_empty() {
+        eprintln!("no criterion JSON lines in {input}");
+        return 1;
+    }
+
+    // Median lookup for the derived ratios.
+    let median = |group: &str, bench: &str| -> Option<f64> {
+        lines.iter().find_map(|l| {
+            (json_str(l, "group").as_deref() == Some(group)
+                && json_str(l, "bench").as_deref() == Some(bench))
+            .then(|| json_num(l, "median_ns"))
+            .flatten()
+        })
+    };
+
+    // recursive_reference / recursive per scale: the bitset-vs-HashSet
+    // speedup the PR's acceptance criterion tracks.
+    let mut ratios: Vec<String> = Vec::new();
+    for scale in ["1k", "2k"] {
+        if let (Some(slow), Some(fast)) = (
+            median("cones", &format!("recursive_reference/{scale}")),
+            median("cones", &format!("recursive/{scale}")),
+        ) {
+            if fast > 0.0 {
+                ratios.push(format!(
+                    "{{\"name\":\"recursive_cone_speedup/{scale}\",\
+                     \"baseline\":\"recursive_reference\",\"ratio\":{:.2}}}",
+                    slow / fast
+                ));
+            }
+        }
+    }
+
+    let mut doc = String::from("{\n  \"benches\": [\n");
+    for (i, l) in lines.iter().enumerate() {
+        doc.push_str("    ");
+        doc.push_str(l);
+        if i + 1 < lines.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("  ],\n  \"derived\": [\n");
+    for (i, r) in ratios.iter().enumerate() {
+        doc.push_str("    ");
+        doc.push_str(r);
+        if i + 1 < ratios.len() {
+            doc.push(',');
+        }
+        doc.push('\n');
+    }
+    doc.push_str("  ]\n}\n");
+
+    if let Err(e) = std::fs::write(output, &doc) {
+        eprintln!("cannot write {output}: {e}");
+        return 1;
+    }
+    println!("wrote {output}: {} benches, {} derived ratios", lines.len(), ratios.len());
+    0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.first().map(String::as_str) == Some("bench-json") {
+        let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: report bench-json <criterion-lines-file> <out.json>");
+            std::process::exit(2);
+        };
+        std::process::exit(bench_json(input, output));
+    }
+
     let mut id: Option<String> = None;
     let mut scale = Scale::Small;
     let mut seed = 42u64;

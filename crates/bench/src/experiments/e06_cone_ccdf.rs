@@ -33,7 +33,7 @@ pub fn run(scale: Scale, seed: u64) -> String {
         h
     });
     for (name, c) in defs {
-        let mut sizes: Vec<usize> = c.ases().map(|a| c.size(a).ases).collect();
+        let mut sizes: Vec<usize> = c.iter_sizes().map(|(_, s)| s.ases).collect();
         sizes.sort_unstable();
         let n = sizes.len().max(1);
         let p99 = sizes[(n * 99 / 100).min(n - 1)];

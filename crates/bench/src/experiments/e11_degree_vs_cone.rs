@@ -18,8 +18,8 @@ pub fn run(scale: Scale, seed: u64) -> String {
     let centrality = transit_centrality(&clean);
 
     let xs: Vec<(asrank_types::Asn, f64)> = cones
-        .ases()
-        .map(|a| (a, cones.size(a).ases as f64))
+        .iter_sizes()
+        .map(|(a, s)| (a, s.ases as f64))
         .collect();
     let ys: Vec<(asrank_types::Asn, f64)> = xs
         .iter()

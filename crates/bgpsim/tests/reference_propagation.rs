@@ -130,7 +130,7 @@ proptest! {
             let Some(dest_id) = g.id(dest) else { continue };
             let tree = compute_route_tree(&g, dest_id, None);
             let reference = reference_routes(&gt, dest);
-            for (&asn, _) in &gt.classes {
+            for &asn in gt.classes.keys() {
                 let id = g.id(asn).unwrap();
                 let fast: RefRoute = tree
                     .route(id)

@@ -4,7 +4,7 @@ use crate::args::Flags;
 use as_topology_gen::load_bundle;
 use asrank_core::pipeline::{infer, InferenceConfig};
 use asrank_core::write_as_rel;
-use asrank_types::Asn;
+use asrank_types::{Asn, Parallelism};
 use mrt_codec::read_rib_dump;
 use std::path::PathBuf;
 
@@ -31,6 +31,10 @@ pub fn run(args: &[String]) -> i32 {
         }
     };
 
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
+    };
+
     // IXP route-server list from the bundle, when provided.
     let mut cfg = InferenceConfig::default();
     if let Some(dir) = flags.get("topo") {
@@ -46,6 +50,7 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    cfg.parallelism = threads;
     let inference = infer(&paths, &cfg);
     let (c2p, p2p, s2s) = inference.relationships.counts();
     println!(

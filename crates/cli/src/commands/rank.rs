@@ -6,7 +6,7 @@ use as_topology_gen::load_bundle;
 use asrank_core::cone::ConeSets;
 use asrank_core::pipeline::{infer, InferenceConfig};
 use asrank_core::{rank_ases, sanitize};
-use asrank_types::Asn;
+use asrank_types::{Asn, Parallelism};
 use mrt_codec::read_rib_dump;
 use std::path::PathBuf;
 
@@ -18,6 +18,9 @@ pub fn run(args: &[String]) -> i32 {
         return 2;
     };
     let Some(top) = flags.get_or("top", 10usize) else {
+        return 2;
+    };
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
         return 2;
     };
 
@@ -53,9 +56,11 @@ pub fn run(args: &[String]) -> i32 {
         None => (InferenceConfig::default(), None),
     };
 
+    let mut cfg = cfg;
+    cfg.parallelism = threads;
     let inference = infer(&paths, &cfg);
     let clean = sanitize(&paths, &cfg.sanitize);
-    let cones = ConeSets::compute(&clean, &inference.relationships, prefixes.as_ref());
+    let cones = ConeSets::compute_with(&clean, &inference.relationships, prefixes.as_ref(), threads);
     let ranked = rank_ases(&cones.recursive, &inference.degrees);
 
     println!(

@@ -26,6 +26,9 @@ pub fn run(args: &[String]) -> i32 {
     let Some(seed) = flags.get_or("seed", 42u64) else {
         return 2;
     };
+    let Some(threads) = flags.get_or("threads", 0usize) else {
+        return 2;
+    };
     let dest_sample = match flags.get("dest-sample") {
         None => None,
         Some(v) => match v.parse() {
@@ -60,7 +63,7 @@ pub fn run(args: &[String]) -> i32 {
             full_feed_fraction: full_feed,
             anomalies,
             destination_sample: dest_sample,
-            threads: 0,
+            threads,
             seed,
         },
     );

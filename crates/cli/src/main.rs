@@ -51,13 +51,17 @@ asrank — AS relationships, customer cones, and validation (IMC 2013 reproducti
 
 subcommands:
   generate   --scale tiny|small|medium|internet [--seed N] --out DIR
-  simulate   --topo DIR [--vps N] [--full-feed F] [--seed N]
+  simulate   --topo DIR [--vps N] [--full-feed F] [--seed N] [--threads N]
              [--dest-sample N] [--anomalies none|realistic] --out FILE.mrt
-  infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt]
+  infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt] [--threads N|auto]
   validate   --inferred as-rel.txt --topo DIR [--corpus-seed N]
-  rank       --rib FILE.mrt [--topo DIR] [--top N]
+  rank       --rib FILE.mrt [--topo DIR] [--top N] [--threads N|auto]
   stability  --rib FILE.mrt [--subsamples K] [--seed N]
   depeer     --topo DIR [--a ASN --b ASN] [--vps N] [--seed N] [--out FILE.mrt]
   diff       --old as-rel.txt --new as-rel.txt [--show N]
   realism    --topo DIR
-  info       --rib FILE.mrt";
+  info       --rib FILE.mrt
+
+--threads takes a worker count (1 = deterministic single-threaded order,
+which produces identical output to any other value) or \"auto\"/0 for all
+available cores.";

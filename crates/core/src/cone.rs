@@ -17,7 +17,30 @@
 //!
 //! Cones are measured in three units: member ASes, originated prefixes,
 //! and originated address space.
+//!
+//! ## Representation and performance
+//!
+//! All three computations run over **dense ids** from a bulk-built
+//! [`AsnInterner`] (ids ascend with ASN, so resolved member lists are
+//! born sorted). The recursive closure first tries a Kahn topological
+//! sort of the p2c digraph directly: c2p cycles are rare inference
+//! errors, so the common case skips Tarjan/condensation entirely and
+//! every AS is its own component. When a cycle does exist, Tarjan SCCs
+//! collapse it and the same dynamic program runs over the condensation.
+//! The DP itself ([`closure_dp`]) is output-sensitive: stub leaves store
+//! nothing, small cones live as sorted id runs in one shared arena, and
+//! only the transit core pays for full-universe [`BitSet`]s whose unions
+//! are word-parallel `|=` over packed `u64`s. Every AS of an SCC shares
+//! one materialized member list (`set_of` indirection), and
+//! prefix/address weights come from per-id lookup tables instead of hash
+//! probes per member. Materialization fans out over worker threads
+//! ([`Parallelism`]); results are identical for every thread count. The
+//! pre-optimization HashSet implementation survives as
+//! [`CustomerCones::recursive_reference`] — the property-test oracle and
+//! the benchmark baseline.
 
+use crate::csr::Csr;
+use crate::par;
 use crate::sanitize::SanitizedPaths;
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -35,10 +58,24 @@ pub struct ConeSize {
 }
 
 /// Customer cones for every AS under one of the three definitions.
+///
+/// Internally: dense ids from an [`AsnInterner`], a `set_of` indirection
+/// mapping each AS to its member set (ASes of one c2p cycle share a set),
+/// and per-set sizes. Member lists are sorted by ASN.
 #[derive(Debug, Clone, Default)]
 pub struct CustomerCones {
-    sizes: HashMap<Asn, ConeSize>,
-    members: HashMap<Asn, Vec<Asn>>,
+    interner: AsnInterner,
+    /// Dense AS id → index into `bounds` / `sizes`.
+    set_of: Vec<u32>,
+    /// Member lists of every set, concatenated in set order and sorted
+    /// within each set. One shared arena instead of a heap `Vec` per set
+    /// — tens of thousands of small allocations otherwise dominate
+    /// construction.
+    members_flat: Vec<Asn>,
+    /// Set `i` spans `members_flat[bounds[i]..bounds[i + 1]]`.
+    bounds: Vec<u32>,
+    /// Measured size of each set, aligned with `bounds`.
+    sizes: Vec<ConeSize>,
 }
 
 /// The three cone definitions computed side by side, for comparison
@@ -60,13 +97,64 @@ impl ConeSets {
         rels: &RelationshipMap,
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
     ) -> Self {
+        Self::compute_with(sanitized, rels, prefixes, Parallelism::auto())
+    }
+
+    /// [`ConeSets::compute`] with an explicit thread budget. The result
+    /// is identical for every `par` value.
+    pub fn compute_with(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
         ConeSets {
-            recursive: CustomerCones::recursive(rels, prefixes),
-            bgp_observed: CustomerCones::bgp_observed(sanitized, rels, prefixes),
-            provider_peer_observed: CustomerCones::provider_peer_observed(
-                sanitized, rels, prefixes,
+            recursive: CustomerCones::recursive_with(rels, prefixes, par),
+            bgp_observed: CustomerCones::bgp_observed_with(sanitized, rels, prefixes, par),
+            provider_peer_observed: CustomerCones::provider_peer_observed_with(
+                sanitized, rels, prefixes, par,
             ),
         }
+    }
+}
+
+/// Pre-dedup member bound below which a cone is kept as a sorted id vec
+/// instead of a full-universe bitset. Two cache lines of ids — merging at
+/// this size is cheaper than allocating and sweeping `n/64` words.
+const SMALL_CONE: usize = 128;
+
+/// DP-internal cone representation; leaf components (no customers) are
+/// represented by absence — their cone is their member list.
+enum Cone {
+    /// Sorted, deduplicated member ids of a small cone, stored as a
+    /// `start..end` range into a shared id arena (no per-cone heap).
+    Small(u32, u32),
+    /// Full-universe bitset for the big transit-core cones.
+    Big(BitSet),
+}
+
+/// Per-dense-id prefix weights, precomputed once so measuring a cone is a
+/// table walk instead of a hash probe per member.
+struct PrefixWeights {
+    count: Vec<u32>,
+    addresses: Vec<u64>,
+}
+
+impl PrefixWeights {
+    fn build(interner: &AsnInterner, prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>) -> Self {
+        let n = interner.len();
+        let mut count = vec![0u32; n];
+        let mut addresses = vec![0u64; n];
+        if let Some(table) = prefixes {
+            for (id, asn) in interner.iter() {
+                if let Some(pfx) = table.get(&asn) {
+                    count[id as usize] = pfx.len() as u32;
+                    addresses[id as usize] =
+                        pfx.iter().map(Ipv4Prefix::address_count).sum::<u64>();
+                }
+            }
+        }
+        PrefixWeights { count, addresses }
     }
 }
 
@@ -74,16 +162,27 @@ impl CustomerCones {
     /// Cone size of `asn`; an unknown AS has the trivial cone of itself
     /// with no known prefixes.
     pub fn size(&self, asn: Asn) -> ConeSize {
-        self.sizes.get(&asn).copied().unwrap_or(ConeSize {
-            ases: 1,
-            prefixes: 0,
-            addresses: 0,
-        })
+        match self.interner.get(asn) {
+            Some(id) => self.sizes[self.set_of[id as usize] as usize],
+            None => ConeSize {
+                ases: 1,
+                prefixes: 0,
+                addresses: 0,
+            },
+        }
     }
 
     /// Sorted cone membership of `asn` (empty slice for unknown ASes).
     pub fn members(&self, asn: Asn) -> &[Asn] {
-        self.members.get(&asn).map(Vec::as_slice).unwrap_or(&[])
+        match self.interner.get(asn) {
+            Some(id) => self.set(self.set_of[id as usize]),
+            None => &[],
+        }
+    }
+
+    /// Member slice of set `s` out of the shared arena.
+    fn set(&self, s: u32) -> &[Asn] {
+        &self.members_flat[self.bounds[s as usize] as usize..self.bounds[s as usize + 1] as usize]
     }
 
     /// True when `y` is in `x`'s cone.
@@ -91,27 +190,43 @@ impl CustomerCones {
         self.members(x).binary_search(&y).is_ok()
     }
 
-    /// All ASes with a computed cone.
+    /// All ASes with a computed cone, in ascending ASN order.
     pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
-        self.sizes.keys().copied()
+        self.interner.iter().map(|(_, a)| a)
+    }
+
+    /// Iterate `(asn, cone size)` for every covered AS in ascending ASN
+    /// order — the bulk accessor for whole-distribution experiments
+    /// (CCDFs, rank correlations), replacing a hash lookup per AS.
+    pub fn iter_sizes(&self) -> impl Iterator<Item = (Asn, ConeSize)> + '_ {
+        self.interner
+            .iter()
+            .map(|(id, a)| (a, self.sizes[self.set_of[id as usize] as usize]))
+    }
+
+    /// Iterate `(asn, sorted members)` for every covered AS in ascending
+    /// ASN order.
+    pub fn iter_members(&self) -> impl Iterator<Item = (Asn, &[Asn])> + '_ {
+        self.interner
+            .iter()
+            .map(|(id, a)| (a, self.set(self.set_of[id as usize])))
     }
 
     /// Number of ASes covered.
     pub fn len(&self) -> usize {
-        self.sizes.len()
+        self.interner.len()
     }
 
     /// True when no cone was computed.
     pub fn is_empty(&self) -> bool {
-        self.sizes.is_empty()
+        self.interner.is_empty()
     }
 
-    /// The AS with the largest cone (by AS count), if any.
+    /// The AS with the largest cone (by AS count, ties to the lowest
+    /// ASN), if any.
     pub fn largest(&self) -> Option<(Asn, ConeSize)> {
-        self.sizes
-            .iter()
-            .max_by_key(|(&a, s)| (s.ases, std::cmp::Reverse(a)))
-            .map(|(&a, &s)| (a, s))
+        self.iter_sizes()
+            .max_by_key(|&(a, s)| (s.ases, std::cmp::Reverse(a)))
     }
 
     /// **Recursive cone**: transitive closure of inferred p2c links.
@@ -135,122 +250,164 @@ impl CustomerCones {
         rels: &RelationshipMap,
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
     ) -> Self {
-        // Dense ids over all ASes in the relationship map.
-        let mut interner = AsnInterner::new();
-        let mut ases: Vec<Asn> = rels.ases().collect();
-        ases.sort();
-        for &a in &ases {
-            interner.intern(a);
-        }
+        Self::recursive_with(rels, prefixes, Parallelism::auto())
+    }
+
+    /// [`CustomerCones::recursive`] with an explicit thread budget.
+    pub fn recursive_with(
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        let interner = AsnInterner::from_ases(rels.link_endpoints());
         let n = interner.len();
         if n == 0 {
             return CustomerCones::default();
         }
 
-        // customer → provider edge lists by dense id.
-        let mut providers: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut customers: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (c, p) in rels.c2p_pairs() {
-            let ci = interner.get(c).expect("interned");
-            let pi = interner.get(p).expect("interned");
-            providers[ci as usize].push(pi);
-            customers[pi as usize].push(ci);
-        }
-
-        // Collapse cycles exactly: Tarjan SCCs over the c2p digraph make
-        // the condensation acyclic (a non-trivial SCC is an inference
-        // error, but the closure must still be well-defined).
-        let scc = crate::scc::tarjan(n, &providers);
-        let comp = Components {
-            of: scc.comp.clone(),
-            count: scc.count,
-        };
-
-        // Condensed customer edges (comp → comp).
-        let ncomp = comp.count;
-        let mut comp_customers: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
-        let mut indegree: Vec<u32> = vec![0; ncomp]; // provider-side indegree
-        for (p, cs) in customers.iter().enumerate() {
-            for &c in cs {
-                let pc = comp.of[p];
-                let cc = comp.of[c as usize];
-                if pc != cc {
-                    comp_customers[pc as usize].push(cc);
-                }
-            }
-        }
-        for v in comp_customers.iter_mut() {
-            v.sort_unstable();
-            v.dedup();
-        }
-        for cc in comp_customers.iter().flatten() {
-            indegree[*cc as usize] += 1;
-        }
-
-        // Reverse topological order: providers after their customers —
-        // process components with no *remaining providers pointing at
-        // them*… easier: topologically order by provider→customer edges
-        // and process in reverse.
-        let mut order: Vec<u32> = Vec::with_capacity(ncomp);
-        let mut queue: Vec<u32> = (0..ncomp as u32)
-            .filter(|&c| indegree[c as usize] == 0)
+        // Provider→customer edges by dense id — the orientation the
+        // closure DP walks.
+        let p2c: Vec<(u32, u32)> = rels
+            .c2p_pairs()
+            .map(|(c, p)| {
+                (
+                    interner.get(p).expect("interned"),
+                    interner.get(c).expect("interned"),
+                )
+            })
             .collect();
-        let mut indeg = indegree;
-        while let Some(c) = queue.pop() {
-            order.push(c);
-            for &cc in &comp_customers[c as usize] {
-                indeg[cc as usize] -= 1;
-                if indeg[cc as usize] == 0 {
-                    queue.push(cc);
-                }
-            }
+        let customers = Csr::from_edges(n, &p2c);
+
+        // Kahn completes exactly when the digraph is acyclic — the
+        // typical case, since a c2p cycle is an inference error. Then
+        // every "component" is a single AS and the Tarjan pass, the
+        // condensation, and the member grouping all collapse to identity
+        // mappings that never materialize.
+        let order = kahn_order(n, &p2c, &customers);
+        if order.len() == n {
+            let member_starts: Vec<u32> = (0..=n as u32).collect();
+            let member_ids: Vec<u32> = (0..n as u32).collect();
+            let (members_flat, bounds, sizes) = closure_dp(
+                &customers,
+                &order,
+                &member_starts,
+                &member_ids,
+                &interner,
+                prefixes,
+                par,
+            );
+            return CustomerCones {
+                interner,
+                set_of: (0..n as u32).collect(),
+                members_flat,
+                bounds,
+                sizes,
+            };
         }
+
+        // Cycles exist: collapse them exactly with Tarjan SCCs (SCCs are
+        // orientation-invariant, so the p2c graph serves as-is) and run
+        // the DP over the acyclic condensation — every member of a c2p
+        // cycle shares one cone.
+        let scc = crate::scc::tarjan(n, &customers);
+        let ncomp = scc.count;
+
+        // Condensed provider→customer edges (comp → comp). Parallel
+        // edges are left in: Kahn counts and decrements them
+        // symmetrically, and the DP's unions are idempotent — skipping
+        // a sort+dedup pass is a measurable win on big edge lists.
+        let comp_edges: Vec<(u32, u32)> = p2c
+            .iter()
+            .filter_map(|&(p, c)| {
+                let (pc, cc) = (scc.comp[p as usize], scc.comp[c as usize]);
+                (pc != cc).then_some((pc, cc))
+            })
+            .collect();
+        let comp_customers = Csr::from_edges(ncomp, &comp_edges);
+        let order = kahn_order(ncomp, &comp_edges, &comp_customers);
         debug_assert_eq!(order.len(), ncomp, "condensation must be acyclic");
 
-        // Bitset DP in reverse order: cone(comp) = members ∪ cones of
-        // customer comps.
-        let words = n.div_ceil(64);
-        let mut comp_members: Vec<Vec<u32>> = vec![Vec::new(); ncomp];
-        for i in 0..n {
-            comp_members[comp.of[i] as usize].push(i as u32);
+        // Group member ids by component with a counting sort — flat
+        // arrays, no per-component `Vec` — ids ascend within each group.
+        let mut member_starts = vec![0u32; ncomp + 1];
+        for &cm in &scc.comp {
+            member_starts[cm as usize + 1] += 1;
         }
-        let mut cones: Vec<Option<Vec<u64>>> = vec![None; ncomp];
-        for &c in order.iter().rev() {
-            let mut bits = vec![0u64; words];
-            for &m in &comp_members[c as usize] {
-                bits[(m / 64) as usize] |= 1u64 << (m % 64);
-            }
-            for &cc in &comp_customers[c as usize] {
-                let child = cones[cc as usize]
-                    .as_ref()
-                    .expect("customers processed before providers");
-                for (w, cw) in bits.iter_mut().zip(child) {
-                    *w |= cw;
-                }
-            }
-            cones[c as usize] = Some(bits);
+        for i in 1..=ncomp {
+            member_starts[i] += member_starts[i - 1];
+        }
+        let mut cursor = member_starts.clone();
+        let mut member_ids = vec![0u32; n];
+        for id in 0..n as u32 {
+            let cm = scc.comp[id as usize] as usize;
+            member_ids[cursor[cm] as usize] = id;
+            cursor[cm] += 1;
         }
 
-        // Materialize per-AS membership and sizes.
-        let mut out = CustomerCones::default();
-        for i in 0..n {
-            let asn = interner.resolve(i as u32);
-            let bits = cones[comp.of[i] as usize].as_ref().expect("computed");
-            let mut members: Vec<Asn> = Vec::new();
-            for (w, &word) in bits.iter().enumerate() {
-                let mut word = word;
-                while word != 0 {
-                    let b = word.trailing_zeros();
-                    members.push(interner.resolve((w * 64) as u32 + b));
-                    word &= word - 1;
+        let (members_flat, bounds, sizes) = closure_dp(
+            &comp_customers,
+            &order,
+            &member_starts,
+            &member_ids,
+            &interner,
+            prefixes,
+            par,
+        );
+        CustomerCones {
+            interner,
+            set_of: scc.comp,
+            members_flat,
+            bounds,
+            sizes,
+        }
+    }
+
+    /// The straightforward `HashSet`-based recursive closure this module
+    /// shipped with before the dense/bitset rewrite: per-AS BFS over
+    /// provider→customer edges with hashed visited-sets.
+    ///
+    /// Kept as the correctness oracle for the property tests (the bitset
+    /// closure must agree on every topology, cycles included) and as the
+    /// baseline the `cones` benchmark measures the rewrite against. Do
+    /// not use it for real workloads.
+    pub fn recursive_reference(
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let interner = AsnInterner::from_ases(rels.link_endpoints());
+        let n = interner.len();
+        let mut customers: HashMap<Asn, Vec<Asn>> = HashMap::new();
+        for (c, p) in rels.c2p_pairs() {
+            customers.entry(p).or_default().push(c);
+        }
+        let mut members_flat = Vec::new();
+        let mut bounds = Vec::with_capacity(n + 1);
+        bounds.push(0u32);
+        let mut sizes = Vec::with_capacity(n);
+        for (_, asn) in interner.iter() {
+            let mut seen: HashSet<Asn> = HashSet::new();
+            let mut stack = vec![asn];
+            seen.insert(asn);
+            while let Some(x) = stack.pop() {
+                for &c in customers.get(&x).map(Vec::as_slice).unwrap_or(&[]) {
+                    if seen.insert(c) {
+                        stack.push(c);
+                    }
                 }
             }
-            members.sort();
-            let size = measure(&members, prefixes);
-            out.sizes.insert(asn, size);
-            out.members.insert(asn, members);
+            let mut members: Vec<Asn> = seen.into_iter().collect();
+            members.sort_unstable();
+            sizes.push(measure_hashed(&members, prefixes));
+            members_flat.extend_from_slice(&members);
+            bounds.push(members_flat.len() as u32);
         }
-        out
+        CustomerCones {
+            interner,
+            set_of: (0..n as u32).collect(),
+            members_flat,
+            bounds,
+            sizes,
+        }
     }
 
     /// **BGP-observed cone**: membership requires a witnessed descent.
@@ -259,27 +416,33 @@ impl CustomerCones {
         rels: &RelationshipMap,
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
     ) -> Self {
-        let mut sets: HashMap<Asn, HashSet<Asn>> = HashMap::new();
-        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
-        for path in distinct {
-            let hops = &path.0;
-            // Mark which links descend (hops[j] is provider of hops[j+1]).
+        Self::bgp_observed_with(sanitized, rels, prefixes, Parallelism::auto())
+    }
+
+    /// [`CustomerCones::bgp_observed`] with an explicit thread budget.
+    pub fn bgp_observed_with(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        let ctx = ObservedContext::build(sanitized, rels);
+        // Scan distinct paths for maximal descending runs; each run puts
+        // everything below the top AS into that AS's cone.
+        let pairs = ctx.collect_pairs(&ctx.c2p, par, |hops, providers, emit| {
             for start in 0..hops.len().saturating_sub(1) {
-                // Extend the maximal descending run beginning at `start`.
                 let mut end = start;
-                while end + 1 < hops.len() && rels.is_c2p(hops[end + 1], hops[end]) {
+                while end + 1 < hops.len() && has_edge(providers, hops[end + 1], hops[end]) {
                     end += 1;
                 }
                 if end > start {
-                    let owner = hops[start];
-                    let set = sets.entry(owner).or_default();
                     for &below in &hops[start + 1..=end] {
-                        set.insert(below);
+                        emit(hops[start], below);
                     }
                 }
             }
-        }
-        Self::from_sets(sanitized, sets, prefixes)
+        });
+        ctx.into_cones(pairs, prefixes, par)
     }
 
     /// **Provider/peer observed cone**: membership requires `x` to have
@@ -289,56 +452,412 @@ impl CustomerCones {
         rels: &RelationshipMap,
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
     ) -> Self {
-        let mut sets: HashMap<Asn, HashSet<Asn>> = HashMap::new();
-        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
-        for path in distinct {
-            let hops = &path.0;
+        Self::provider_peer_observed_with(sanitized, rels, prefixes, Parallelism::auto())
+    }
+
+    /// [`CustomerCones::provider_peer_observed`] with an explicit thread
+    /// budget.
+    pub fn provider_peer_observed_with(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        let ctx = ObservedContext::build(sanitized, rels);
+        let pairs = ctx.collect_pairs(&ctx.c2p_or_p2p, par, |hops, graphs, emit| {
             for i in 1..hops.len() {
-                let x = hops[i];
-                let w = hops[i - 1];
+                let (x, w) = (hops[i], hops[i - 1]);
                 // w received the route from x; if w is x's provider or
                 // peer, everything beyond x is x's customer cone.
-                let o = rels.orientation(x, w);
-                if matches!(o, Some(Orientation::Provider) | Some(Orientation::Peer)) {
-                    let set = sets.entry(x).or_default();
+                if has_edge(graphs, x, w) {
                     for &below in &hops[i + 1..] {
-                        set.insert(below);
+                        emit(x, below);
                     }
                 }
             }
-        }
-        Self::from_sets(sanitized, sets, prefixes)
-    }
-
-    fn from_sets(
-        sanitized: &SanitizedPaths,
-        sets: HashMap<Asn, HashSet<Asn>>,
-        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
-    ) -> Self {
-        let mut out = CustomerCones::default();
-        // Every observed AS has at least the trivial cone of itself.
-        let mut all: HashSet<Asn> = HashSet::new();
-        for p in sanitized.paths() {
-            all.extend(p.iter());
-        }
-        for asn in all {
-            let mut members: Vec<Asn> = sets
-                .get(&asn)
-                .map(|s| s.iter().copied().collect())
-                .unwrap_or_default();
-            members.push(asn);
-            members.sort();
-            members.dedup();
-            let size = measure(&members, prefixes);
-            out.sizes.insert(asn, size);
-            out.members.insert(asn, members);
-        }
-        out
+        });
+        ctx.into_cones(pairs, prefixes, par)
     }
 }
 
-/// Weigh a member list in the three units.
-fn measure(members: &[Asn], prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>) -> ConeSize {
+/// Membership test against a sorted CSR neighbor list.
+fn has_edge(g: &Csr, from: u32, to: u32) -> bool {
+    g.neighbors(from).binary_search(&to).is_ok()
+}
+
+/// Shared scaffolding of the two observed-cone computations: dense ids
+/// over every AS seen in the sanitized paths, distinct paths mapped to
+/// dense hops, and the relationship edges needed for witness tests.
+struct ObservedContext {
+    interner: AsnInterner,
+    /// Distinct paths as dense-id hop lists.
+    paths: Vec<Vec<u32>>,
+    /// `c → p` c2p edges (sorted CSR) — the BGP-observed descent test.
+    c2p: Csr,
+    /// `c → p` c2p plus symmetric p2p edges — the provider/peer-observed
+    /// announcement-witness test.
+    c2p_or_p2p: Csr,
+}
+
+impl ObservedContext {
+    fn build(sanitized: &SanitizedPaths, rels: &RelationshipMap) -> Self {
+        let interner =
+            AsnInterner::from_ases(sanitized.paths().flat_map(|p| p.iter()));
+        let n = interner.len();
+
+        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
+        let paths: Vec<Vec<u32>> = distinct
+            .into_iter()
+            .map(|p| {
+                p.iter()
+                    .map(|a| interner.get(a).expect("interned"))
+                    .collect()
+            })
+            .collect();
+
+        // Witness edges restricted to interned (path-observed) ASes:
+        // x → w where w is x's provider (c2p), optionally also peers.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for (c, p) in rels.c2p_pairs() {
+            if let (Some(ci), Some(pi)) = (interner.get(c), interner.get(p)) {
+                edges.push((ci, pi));
+            }
+        }
+        let c2p = Csr::from_edges_dedup(n, &edges);
+        for (a, b) in rels.p2p_pairs() {
+            if let (Some(ai), Some(bi)) = (interner.get(a), interner.get(b)) {
+                edges.push((ai, bi));
+                edges.push((bi, ai));
+            }
+        }
+        let c2p_or_p2p = Csr::from_edges_dedup(n, &edges);
+
+        ObservedContext {
+            interner,
+            paths,
+            c2p,
+            c2p_or_p2p,
+        }
+    }
+
+    /// Run `scan` over every distinct path in parallel, collecting
+    /// `(owner, member)` dense-id pairs; the packed pair list is sorted
+    /// and deduplicated, so the result is independent of path order and
+    /// thread count.
+    fn collect_pairs<F>(&self, witness: &Csr, par: Parallelism, scan: F) -> Vec<u64>
+    where
+        F: Fn(&[u32], &Csr, &mut dyn FnMut(u32, u32)) + Sync,
+    {
+        let per_chunk = par::map_chunks(par, 32, &self.paths, |chunk| {
+            let mut local: Vec<u64> = Vec::new();
+            for hops in chunk {
+                scan(hops, witness, &mut |owner, member| {
+                    local.push((owner as u64) << 32 | member as u64);
+                });
+            }
+            local
+        });
+        let mut pairs: Vec<u64> = per_chunk.concat();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Build the final cones: every observed AS gets the trivial cone of
+    /// itself plus its collected members. `pairs` must be sorted.
+    fn into_cones(
+        self,
+        pairs: Vec<u64>,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> CustomerCones {
+        let n = self.interner.len();
+        let weights = PrefixWeights::build(&self.interner, prefixes);
+
+        // Per-owner slice boundaries in the sorted pair list.
+        let mut starts = vec![0usize; n + 1];
+        {
+            let mut cursor = 0usize;
+            for owner in 0..n as u64 {
+                while cursor < pairs.len() && pairs[cursor] >> 32 < owner {
+                    cursor += 1;
+                }
+                starts[owner as usize] = cursor;
+            }
+            starts[n] = pairs.len();
+        }
+
+        let materialized = par::map_ranges(par, 256, n, |range| {
+            let mut chunk = ChunkSets::with_capacity(range.len());
+            for owner in range {
+                let (lo, hi) = (starts[owner], starts[owner + 1]);
+                let before = chunk.members.len();
+                let mut size = ConeSize::default();
+                // Merge the owner itself into its sorted member run.
+                let mut self_pending = true;
+                for &packed in &pairs[lo..hi] {
+                    let member = packed as u32;
+                    if self_pending && member as usize >= owner {
+                        if member as usize > owner {
+                            chunk.push_member(owner as u32, &self.interner, &weights, &mut size);
+                        }
+                        self_pending = false;
+                    }
+                    chunk.push_member(member, &self.interner, &weights, &mut size);
+                }
+                if self_pending {
+                    chunk.push_member(owner as u32, &self.interner, &weights, &mut size);
+                }
+                chunk.finish_set(before, size);
+            }
+            chunk
+        });
+
+        let (members_flat, bounds, sizes) = ChunkSets::assemble(materialized);
+        CustomerCones {
+            interner: self.interner,
+            set_of: (0..n as u32).collect(),
+            members_flat,
+            bounds,
+            sizes,
+        }
+    }
+}
+
+/// Materialize one bitset cone as a sorted member list plus its measured
+/// size (ids ascend with ASN, so no sort is needed).
+/// Kahn topological order over `0..n` along `edges` / its CSR `succ`.
+/// Returns fewer than `n` nodes exactly when the digraph has a cycle.
+fn kahn_order(n: usize, edges: &[(u32, u32)], succ: &Csr) -> Vec<u32> {
+    let mut indegree = vec![0u32; n];
+    for &(_, v) in edges {
+        indegree[v as usize] += 1;
+    }
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: Vec<u32> = (0..n as u32)
+        .filter(|&v| indegree[v as usize] == 0)
+        .collect();
+    while let Some(u) = queue.pop() {
+        order.push(u);
+        for &v in succ.neighbors(u) {
+            indegree[v as usize] -= 1;
+            if indegree[v as usize] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// The shared closure DP + materialization behind
+/// [`CustomerCones::recursive_with`], over an acyclic component graph.
+///
+/// `comp_customers` is the provider→customer adjacency of `ncomp`
+/// components in `order` (a topological order, processed in reverse so
+/// customers land before their providers); component `c`'s member ids
+/// are `member_ids[member_starts[c]..member_starts[c + 1]]`, ascending.
+/// In the common acyclic case both arrays are identity mappings.
+///
+/// Output-sensitive representation, chosen per component by how big the
+/// cone can get:
+///
+/// * **Leaf** (no customers — the stub majority of any AS topology): no
+///   storage at all; the cone is exactly the member list.
+/// * **Small** (pre-dedup bound ≤ [`SMALL_CONE`]): sorted ids appended
+///   to a shared arena via a reused merge buffer — total work (and zero
+///   steady-state allocation) proportional to the cone, not the
+///   universe.
+/// * **Big** (the transit core, a few dozen comps): a full [`BitSet`],
+///   where each union is a word-parallel `|=` and, because OR is
+///   commutative, the result is independent of customer order.
+///
+/// Returns the flat arena layout (`members_flat`, `bounds`, `sizes`)
+/// [`CustomerCones`] stores, materialized in parallel.
+fn closure_dp(
+    comp_customers: &Csr,
+    order: &[u32],
+    member_starts: &[u32],
+    member_ids: &[u32],
+    interner: &AsnInterner,
+    prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    par: Parallelism,
+) -> (Vec<Asn>, Vec<u32>, Vec<ConeSize>) {
+    let n = interner.len();
+    let ncomp = order.len();
+    let members_of = |c: usize| &member_ids[member_starts[c] as usize..member_starts[c + 1] as usize];
+
+    let mut cones: Vec<Option<Cone>> = (0..ncomp).map(|_| None).collect();
+    let mut counts: Vec<u32> = vec![0; ncomp];
+    let mut small_arena: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+    for &c in order.iter().rev() {
+        let c = c as usize;
+        let customers = comp_customers.neighbors(c as u32);
+        if customers.is_empty() {
+            counts[c] = members_of(c).len() as u32; // leaf
+            continue;
+        }
+        // Pre-dedup upper bound on the cone; customers are already
+        // computed (reverse topological order visits them first).
+        let bound: usize = members_of(c).len()
+            + customers
+                .iter()
+                .map(|&cc| counts[cc as usize] as usize)
+                .sum::<usize>();
+        if bound <= SMALL_CONE {
+            scratch.clear();
+            scratch.extend_from_slice(members_of(c));
+            for &cc in customers {
+                match cones[cc as usize].as_ref() {
+                    None => scratch.extend_from_slice(members_of(cc as usize)),
+                    Some(&Cone::Small(lo, hi)) => {
+                        scratch.extend_from_slice(&small_arena[lo as usize..hi as usize])
+                    }
+                    // A big-universe customer can still have a small
+                    // deduped count (heavy multihoming inflates the
+                    // bound it was sized by, not its contents).
+                    Some(Cone::Big(b)) => scratch.extend(b.iter_ones()),
+                }
+            }
+            scratch.sort_unstable();
+            scratch.dedup();
+            counts[c] = scratch.len() as u32;
+            let lo = small_arena.len() as u32;
+            small_arena.extend_from_slice(&scratch);
+            cones[c] = Some(Cone::Small(lo, small_arena.len() as u32));
+        } else {
+            let mut bits = BitSet::new(n);
+            for &m in members_of(c) {
+                bits.insert(m);
+            }
+            for &cc in customers {
+                match cones[cc as usize].as_ref() {
+                    None => {
+                        for &m in members_of(cc as usize) {
+                            bits.insert(m);
+                        }
+                    }
+                    Some(&Cone::Small(lo, hi)) => {
+                        for &m in &small_arena[lo as usize..hi as usize] {
+                            bits.insert(m);
+                        }
+                    }
+                    Some(Cone::Big(b)) => bits.union_with(b),
+                }
+            }
+            counts[c] = bits.count_ones() as u32;
+            cones[c] = Some(Cone::Big(bits));
+        }
+    }
+
+    // Materialize one member list + size per component, in parallel,
+    // each worker appending into its own chunk arena. Ids ascend with
+    // ASN (bulk interner), so lists are born sorted — the bitset sweep,
+    // the small id vecs, and the leaf member lists.
+    let weights = PrefixWeights::build(interner, prefixes);
+    let materialized = par::map_ranges(par, 64, ncomp, |range| {
+        let mut chunk = ChunkSets::with_capacity(range.len());
+        for c in range {
+            match cones[c].as_ref() {
+                Some(Cone::Big(bits)) => chunk.append_bits(bits, interner, &weights),
+                Some(&Cone::Small(lo, hi)) => {
+                    chunk.append_ids(&small_arena[lo as usize..hi as usize], interner, &weights)
+                }
+                None => chunk.append_ids(members_of(c), interner, &weights),
+            }
+        }
+        chunk
+    });
+    ChunkSets::assemble(materialized)
+}
+
+/// Per-worker accumulator for materialized member sets: one arena of
+/// resolved members plus per-set lengths and sizes. Workers fill chunks
+/// independently; [`ChunkSets::assemble`] stitches them, in chunk order,
+/// into the flat layout [`CustomerCones`] stores — so the whole
+/// materialization performs O(workers) allocations, not O(sets).
+struct ChunkSets {
+    members: Vec<Asn>,
+    lens: Vec<u32>,
+    sizes: Vec<ConeSize>,
+}
+
+impl ChunkSets {
+    fn with_capacity(nsets: usize) -> Self {
+        ChunkSets {
+            members: Vec::new(),
+            lens: Vec::with_capacity(nsets),
+            sizes: Vec::with_capacity(nsets),
+        }
+    }
+
+    /// Resolve and measure one member of the set being built.
+    #[inline]
+    fn push_member(&mut self, id: u32, interner: &AsnInterner, weights: &PrefixWeights, size: &mut ConeSize) {
+        self.members.push(interner.resolve(id));
+        size.ases += 1;
+        size.prefixes += weights.count[id as usize] as usize;
+        size.addresses += weights.addresses[id as usize];
+    }
+
+    /// Close the set opened at arena offset `before`.
+    fn finish_set(&mut self, before: usize, size: ConeSize) {
+        self.lens.push((self.members.len() - before) as u32);
+        self.sizes.push(size);
+    }
+
+    /// Append one set from a bitset cone. Manual word loop: zero words
+    /// (the sparse majority) cost one branch, and set bits peel off with
+    /// `trailing_zeros` — tighter than a general-purpose bit iterator in
+    /// this hot path.
+    fn append_bits(&mut self, bits: &BitSet, interner: &AsnInterner, weights: &PrefixWeights) {
+        let before = self.members.len();
+        let mut size = ConeSize::default();
+        for (wi, &word) in bits.words().iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let id = (wi * 64) as u32 + w.trailing_zeros();
+                w &= w - 1;
+                self.push_member(id, interner, weights, &mut size);
+            }
+        }
+        self.finish_set(before, size);
+    }
+
+    /// Append one set held as sorted member ids (a leaf's member list or
+    /// a small merged cone), skipping any full-universe sweep.
+    fn append_ids(&mut self, member_ids: &[u32], interner: &AsnInterner, weights: &PrefixWeights) {
+        let before = self.members.len();
+        let mut size = ConeSize::default();
+        for &id in member_ids {
+            self.push_member(id, interner, weights, &mut size);
+        }
+        self.finish_set(before, size);
+    }
+
+    /// Stitch per-worker chunks, in order, into the flat arena layout.
+    fn assemble(chunks: Vec<ChunkSets>) -> (Vec<Asn>, Vec<u32>, Vec<ConeSize>) {
+        let total: usize = chunks.iter().map(|c| c.members.len()).sum();
+        let nsets: usize = chunks.iter().map(|c| c.lens.len()).sum();
+        let mut flat = Vec::with_capacity(total);
+        let mut bounds = Vec::with_capacity(nsets + 1);
+        bounds.push(0u32);
+        let mut sizes = Vec::with_capacity(nsets);
+        for chunk in chunks {
+            for len in chunk.lens {
+                let prev = *bounds.last().expect("bounds start with 0");
+                bounds.push(prev + len);
+            }
+            flat.extend_from_slice(&chunk.members);
+            sizes.extend(chunk.sizes);
+        }
+        (flat, bounds, sizes)
+    }
+}
+
+/// Weigh a member list via hash lookups — only used by the reference
+/// implementation, matching its original code path.
+fn measure_hashed(members: &[Asn], prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>) -> ConeSize {
     let mut size = ConeSize {
         ases: members.len(),
         prefixes: 0,
@@ -353,12 +872,6 @@ fn measure(members: &[Asn], prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>) ->
         }
     }
     size
-}
-
-/// Component labeling of the c2p digraph (dense ids).
-struct Components {
-    of: Vec<u32>,
-    count: usize,
 }
 
 #[cfg(test)]
@@ -422,6 +935,26 @@ mod tests {
             );
         }
         assert_eq!(cones.members(Asn(9)), &[Asn(9)]);
+    }
+
+    #[test]
+    fn reference_agrees_on_fixtures() {
+        for r in [rels(), {
+            let mut r = RelationshipMap::new();
+            r.insert_c2p(Asn(1), Asn(2));
+            r.insert_c2p(Asn(2), Asn(3));
+            r.insert_c2p(Asn(3), Asn(1));
+            r.insert_c2p(Asn(9), Asn(1));
+            r
+        }] {
+            let fast = CustomerCones::recursive(&r, None);
+            let slow = CustomerCones::recursive_reference(&r, None);
+            assert_eq!(fast.len(), slow.len());
+            for asn in fast.ases() {
+                assert_eq!(fast.members(asn), slow.members(asn), "members of {asn}");
+                assert_eq!(fast.size(asn), slow.size(asn), "size of {asn}");
+            }
+        }
     }
 
     #[test]
@@ -502,6 +1035,40 @@ mod tests {
         let (asn, size) = cones.largest().unwrap();
         assert_eq!(asn, Asn(2));
         assert_eq!(size.ases, 4);
+    }
+
+    #[test]
+    fn bulk_size_iterator_matches_point_lookups() {
+        let cones = CustomerCones::recursive(&rels(), None);
+        let bulk: Vec<(Asn, ConeSize)> = cones.iter_sizes().collect();
+        assert_eq!(bulk.len(), cones.len());
+        for &(a, s) in &bulk {
+            assert_eq!(s, cones.size(a));
+        }
+        // Ascending ASN order.
+        assert!(bulk.windows(2).all(|w| w[0].0 < w[1].0));
+        for (a, m) in cones.iter_members() {
+            assert_eq!(m, cones.members(a));
+        }
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let r = rels();
+        let p = paths(&[&[200, 20, 2, 1, 10, 100], &[100, 10, 1, 2, 20, 200]]);
+        let seq = ConeSets::compute_with(&p, &r, None, Parallelism::sequential());
+        let par = ConeSets::compute_with(&p, &r, None, Parallelism::threads(4));
+        for (a, b) in [
+            (&seq.recursive, &par.recursive),
+            (&seq.bgp_observed, &par.bgp_observed),
+            (&seq.provider_peer_observed, &par.provider_peer_observed),
+        ] {
+            assert_eq!(a.len(), b.len());
+            for asn in a.ases() {
+                assert_eq!(a.members(asn), b.members(asn));
+                assert_eq!(a.size(asn), b.size(asn));
+            }
+        }
     }
 
     #[test]

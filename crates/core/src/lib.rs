@@ -37,9 +37,11 @@
 pub mod centrality;
 pub mod clique;
 pub mod cone;
+pub mod csr;
 pub mod degree;
 pub mod diff;
 pub mod io;
+pub mod par;
 pub mod pipeline;
 pub mod rank;
 pub mod sanitize;
@@ -50,7 +52,8 @@ pub mod visibility;
 
 pub use centrality::{transit_centrality, Centrality};
 pub use clique::{infer_clique, CliqueConfig};
-pub use cone::{ConeSets, CustomerCones};
+pub use cone::{ConeSets, ConeSize, CustomerCones};
+pub use csr::{Adjacency, Csr};
 pub use degree::DegreeTable;
 pub use diff::{diff_relationships, ChangedLink, RelDiff};
 pub use io::{read_as_rel, write_as_rel, AsRelError};

@@ -9,7 +9,7 @@ pub mod steps;
 
 use crate::clique::{infer_clique, CliqueConfig};
 use crate::degree::DegreeTable;
-use crate::sanitize::{sanitize, SanitizeConfig, SanitizeReport};
+use crate::sanitize::{sanitize_with, SanitizeConfig, SanitizeReport};
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -31,6 +31,11 @@ pub struct InferenceConfig {
     /// Ablation switches: disable individual steps to measure their
     /// contribution (all `false` = full pipeline).
     pub ablation: Ablation,
+    /// Thread budget for the fan-out stages (S1 sanitize, S6 evidence
+    /// collection). The default (`auto`) uses all available cores;
+    /// [`Parallelism::sequential`] runs single-threaded. Results are
+    /// identical for every value.
+    pub parallelism: Parallelism,
 }
 
 /// Per-step ablation switches (used by the E12 ablation experiment).
@@ -143,7 +148,7 @@ pub struct Inference {
 /// ```
 pub fn infer(paths: &PathSet, cfg: &InferenceConfig) -> Inference {
     // S1: sanitize.
-    let sanitized = sanitize(paths, &cfg.sanitize);
+    let sanitized = sanitize_with(paths, &cfg.sanitize, cfg.parallelism);
     let mut report = InferenceReport {
         sanitize: sanitized.report,
         ..Default::default()

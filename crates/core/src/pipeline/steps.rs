@@ -191,16 +191,31 @@ pub fn infer_vp_providers(
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    // (vp, first hop) → distinct prefixes, plus per-VP totals.
+    // (vp, first hop) → distinct prefixes, plus per-VP totals. Evidence
+    // is collected per chunk on worker threads and merged by set union —
+    // order-independent, so the result matches the sequential scan.
+    let per_chunk = crate::par::map_chunks(cfg.parallelism, 512, &sanitized.samples, |chunk| {
+        let mut via: HashMap<(Asn, Asn), HashSet<Ipv4Prefix>> = HashMap::new();
+        let mut totals: HashMap<Asn, HashSet<Ipv4Prefix>> = HashMap::new();
+        for s in chunk {
+            let hops = &s.path.0;
+            if hops.len() < 2 || hops[0] != s.vp {
+                continue;
+            }
+            via.entry((s.vp, hops[1])).or_default().insert(s.prefix);
+            totals.entry(s.vp).or_default().insert(s.prefix);
+        }
+        (via, totals)
+    });
     let mut via: HashMap<(Asn, Asn), HashSet<Ipv4Prefix>> = HashMap::new();
     let mut totals: HashMap<Asn, HashSet<Ipv4Prefix>> = HashMap::new();
-    for s in &sanitized.samples {
-        let hops = &s.path.0;
-        if hops.len() < 2 || hops[0] != s.vp {
-            continue;
+    for (v, t) in per_chunk {
+        for (k, set) in v {
+            via.entry(k).or_default().extend(set);
         }
-        via.entry((s.vp, hops[1])).or_default().insert(s.prefix);
-        totals.entry(s.vp).or_default().insert(s.prefix);
+        for (k, set) in t {
+            totals.entry(k).or_default().extend(set);
+        }
     }
     let threshold = cfg.vp_threshold();
     let mut candidates: Vec<(Asn, Asn)> = via.keys().copied().collect();
@@ -343,19 +358,18 @@ pub fn assign_remaining_p2p(
 pub fn audit_cycles(rels: &RelationshipMap) -> usize {
     // Dense ids over the c2p digraph, then exact SCCs: a link is on a
     // cycle iff both endpoints share a non-trivial component.
-    let mut interner = AsnInterner::new();
-    let mut ases: Vec<Asn> = rels.ases().collect();
-    ases.sort();
-    for &a in &ases {
-        interner.intern(a);
-    }
+    let interner = AsnInterner::from_ases(rels.ases());
     let n = interner.len();
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for (c, p) in rels.c2p_pairs() {
-        let ci = interner.get(c).expect("interned");
-        let pi = interner.get(p).expect("interned");
-        adj[ci as usize].push(pi);
-    }
+    let edges: Vec<(u32, u32)> = rels
+        .c2p_pairs()
+        .map(|(c, p)| {
+            (
+                interner.get(c).expect("interned"),
+                interner.get(p).expect("interned"),
+            )
+        })
+        .collect();
+    let adj = crate::csr::Csr::from_edges(n, &edges);
     let scc = crate::scc::tarjan(n, &adj);
     rels.c2p_pairs()
         .filter(|&(c, p)| {

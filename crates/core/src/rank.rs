@@ -28,11 +28,11 @@ pub struct RankedAs {
 /// transit degree (descending) then ASN (ascending).
 pub fn rank_ases(cones: &CustomerCones, degrees: &DegreeTable) -> Vec<RankedAs> {
     let mut rows: Vec<RankedAs> = cones
-        .ases()
-        .map(|asn| RankedAs {
+        .iter_sizes()
+        .map(|(asn, cone)| RankedAs {
             rank: 0,
             asn,
-            cone: cones.size(asn),
+            cone,
             transit_degree: degrees.transit_degree(asn),
         })
         .collect();

@@ -123,19 +123,42 @@ fn sanitize_path(
 
 /// Sanitize a whole path set (S1 of the pipeline).
 pub fn sanitize(paths: &PathSet, cfg: &SanitizeConfig) -> SanitizedPaths {
+    sanitize_with(paths, cfg, Parallelism::auto())
+}
+
+/// [`sanitize`] with an explicit thread budget. Paths are independent, so
+/// chunks are cleaned on worker threads and reassembled in input order;
+/// report counters are sums of per-chunk counters. The output is
+/// identical for every `par` value.
+pub fn sanitize_with(paths: &PathSet, cfg: &SanitizeConfig, par: Parallelism) -> SanitizedPaths {
+    let all: Vec<&PathSample> = paths.iter().collect();
+    let per_chunk = crate::par::map_chunks(par, 256, &all, |chunk| {
+        let mut report = SanitizeReport::default();
+        let mut samples = Vec::with_capacity(chunk.len());
+        for s in chunk {
+            if let Some(clean) = sanitize_path(&s.path, cfg, &mut report) {
+                samples.push(PathSample {
+                    vp: s.vp,
+                    prefix: s.prefix,
+                    path: clean,
+                });
+            }
+        }
+        (samples, report)
+    });
+
     let mut report = SanitizeReport {
         input_paths: paths.len(),
         ..Default::default()
     };
     let mut samples = Vec::with_capacity(paths.len());
-    for s in paths.iter() {
-        if let Some(clean) = sanitize_path(&s.path, cfg, &mut report) {
-            samples.push(PathSample {
-                vp: s.vp,
-                prefix: s.prefix,
-                path: clean,
-            });
-        }
+    for (chunk_samples, r) in per_chunk {
+        samples.extend(chunk_samples);
+        report.discarded_loops += r.discarded_loops;
+        report.discarded_reserved += r.discarded_reserved;
+        report.discarded_short += r.discarded_short;
+        report.compressed_prepending += r.compressed_prepending;
+        report.stripped_ixp += r.stripped_ixp;
     }
     report.output_paths = samples.len();
     SanitizedPaths { samples, report }
@@ -215,6 +238,30 @@ mod tests {
         let out = sanitize(&ps(&[&[1, 900], &[5, 5, 5]]), &cfg);
         assert!(out.samples.is_empty());
         assert_eq!(out.report.discarded_short, 2);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_sanitization() {
+        let raw: Vec<Vec<u32>> = (0..500)
+            .map(|i| match i % 4 {
+                0 => vec![i, i + 1, i + 2],
+                1 => vec![i, i + 1, i],         // loop
+                2 => vec![i, 64512, i + 2],     // reserved
+                _ => vec![i, i + 1, i + 1, i + 2], // prepending
+            })
+            .collect();
+        let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        let set = ps(&refs);
+        let cfg = SanitizeConfig::default();
+        let seq = sanitize_with(&set, &cfg, Parallelism::sequential());
+        let par = sanitize_with(&set, &cfg, Parallelism::threads(4));
+        assert_eq!(seq.report, par.report);
+        assert_eq!(seq.samples.len(), par.samples.len());
+        for (a, b) in seq.samples.iter().zip(&par.samples) {
+            assert_eq!(a.path, b.path);
+            assert_eq!(a.vp, b.vp);
+            assert_eq!(a.prefix, b.prefix);
+        }
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl Scc {
 }
 
 /// Compute SCCs with an iterative Tarjan.
-pub fn tarjan(n: usize, adj: &[Vec<u32>]) -> Scc {
+///
+/// `adj` is any [`Adjacency`] — a [`Csr`](crate::csr::Csr) in production
+/// code, a plain `Vec<Vec<u32>>` in tests.
+pub fn tarjan<A: crate::csr::Adjacency>(n: usize, adj: A) -> Scc {
     const UNSET: u32 = u32::MAX;
     let mut index = vec![UNSET; n];
     let mut lowlink = vec![0u32; n];
@@ -54,7 +57,7 @@ pub fn tarjan(n: usize, adj: &[Vec<u32>]) -> Scc {
         on_stack[start as usize] = true;
 
         while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
-            let edges = &adj[v as usize];
+            let edges = adj.neighbors(v);
             if *ei < edges.len() {
                 let w = edges[*ei];
                 *ei += 1;
@@ -155,7 +158,7 @@ mod tests {
 
     #[test]
     fn empty_graph() {
-        let s = tarjan(0, &[]);
+        let s = tarjan(0, Vec::<Vec<u32>>::new());
         assert_eq!(s.count, 0);
     }
 }

@@ -6,7 +6,6 @@
 //! [`AsnClass`] encodes that taxonomy; [`Asn::class`] performs the lookup.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// An autonomous system number (4-byte, RFC 6793).
@@ -96,7 +95,9 @@ impl From<Asn> for u32 {
 /// lifetime of the interner.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct AsnInterner {
-    forward: HashMap<Asn, u32>,
+    // Fx-hashed: ASN keys are trusted in-tree data, and the SipHash
+    // default is the dominant cost of bulk interning (see fxhash docs).
+    forward: crate::fxhash::FxHashMap<Asn, u32>,
     reverse: Vec<Asn>,
 }
 
@@ -104,6 +105,26 @@ impl AsnInterner {
     /// Create an empty interner.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Build an interner over `ases` in one pass: the input is sorted and
+    /// deduplicated, so dense ids are assigned in ascending ASN order
+    /// regardless of input order. This is the bulk constructor every
+    /// graph algorithm should use — it reserves both tables up front and
+    /// produces a canonical (input-order-independent) id assignment.
+    pub fn from_ases<I: IntoIterator<Item = Asn>>(ases: I) -> Self {
+        let mut sorted: Vec<Asn> = ases.into_iter().collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let forward = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u32))
+            .collect();
+        AsnInterner {
+            forward,
+            reverse: sorted,
+        }
     }
 
     /// Intern `asn`, returning its dense index (allocating one if new).
@@ -193,6 +214,23 @@ mod tests {
         assert_eq!(i.get(Asn(7)), Some(b));
         assert_eq!(i.get(Asn(8)), None);
         assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn bulk_constructor_sorts_and_dedups() {
+        let i = AsnInterner::from_ases([Asn(9), Asn(3), Asn(9), Asn(5)]);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.resolve(0), Asn(3));
+        assert_eq!(i.resolve(1), Asn(5));
+        assert_eq!(i.resolve(2), Asn(9));
+        assert_eq!(i.get(Asn(5)), Some(1));
+        assert_eq!(i.get(Asn(4)), None);
+        // Same set, different input order → identical assignment.
+        let j = AsnInterner::from_ases([Asn(5), Asn(9), Asn(3)]);
+        assert_eq!(
+            i.iter().collect::<Vec<_>>(),
+            j.iter().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Fixed-universe bitsets for dense-id graph algorithms.
+//!
+//! The cone computations union tens of thousands of AS sets; a packed
+//! `u64` bitset makes each union a word-parallel `|=` sweep (64 members
+//! per instruction) instead of per-element hash inserts, and membership a
+//! single shift-and-mask. The universe (number of dense ids) is fixed at
+//! construction — exactly the shape produced by [`crate::AsnInterner`].
+
+use std::fmt;
+
+/// A set of dense ids in `0..universe`, packed 64 per word.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    universe: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        BitSet {
+            words: vec![0u64; universe.div_ceil(64)],
+            universe,
+        }
+    }
+
+    /// Size of the universe (maximum id + 1), not the member count.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Add `id` to the set.
+    ///
+    /// # Panics
+    /// Panics if `id >= universe`.
+    pub fn insert(&mut self, id: u32) {
+        assert!((id as usize) < self.universe, "id {id} out of universe");
+        self.words[(id / 64) as usize] |= 1u64 << (id % 64);
+    }
+
+    /// True when `id` is in the set (ids outside the universe are not).
+    pub fn contains(&self, id: u32) -> bool {
+        self.words
+            .get((id / 64) as usize)
+            .is_some_and(|w| w >> (id % 64) & 1 == 1)
+    }
+
+    /// Word-parallel union: `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Number of members.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate members in increasing id order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            // Peel set bits low-to-high with trailing_zeros.
+            std::iter::successors(
+                if word == 0 { None } else { Some(word) },
+                |&w| {
+                    let next = w & (w - 1);
+                    if next == 0 {
+                        None
+                    } else {
+                        Some(next)
+                    }
+                },
+            )
+            .map(move |w| (wi * 64) as u32 + w.trailing_zeros())
+        })
+    }
+
+    /// The raw packed words (low id = low bit of word 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter_ones()).finish()
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    /// Collect ids into a set sized to the largest id seen.
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let ids: Vec<u32> = iter.into_iter().collect();
+        let universe = ids.iter().max().map(|&m| m as usize + 1).unwrap_or(0);
+        let mut s = BitSet::new(universe);
+        for id in ids {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        for id in [0u32, 63, 64, 127, 129] {
+            s.insert(id);
+        }
+        assert!(s.contains(0) && s.contains(63) && s.contains(64));
+        assert!(s.contains(127) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(!s.contains(1000), "out-of-universe ids are absent");
+        assert_eq!(s.count_ones(), 5);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn union_is_word_parallel_or() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(2);
+        b.insert(70);
+        a.union_with(&b);
+        let members: Vec<u32> = a.iter_ones().collect();
+        assert_eq!(members, vec![1, 2, 70]);
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let ids = [5u32, 0, 64, 63, 65, 199];
+        let s: BitSet = ids.iter().copied().collect();
+        let got: Vec<u32> = s.iter_ones().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+        assert_eq!(s.universe(), 200);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.iter_ones().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of universe")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(10).insert(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn union_universe_mismatch_panics() {
+        BitSet::new(10).union_with(&BitSet::new(11));
+    }
+}

@@ -24,8 +24,11 @@
 #![forbid(unsafe_code)]
 
 pub mod asn;
+pub mod bitset;
 pub mod error;
+pub mod fxhash;
 pub mod graph;
+pub mod parallel;
 pub mod path;
 pub mod prefix;
 pub mod prefix6;
@@ -34,6 +37,9 @@ pub mod trie;
 pub mod update;
 
 pub use asn::{Asn, AsnClass, AsnInterner};
+pub use bitset::BitSet;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use parallel::Parallelism;
 pub use error::TypesError;
 pub use graph::{AsClass, GroundTruth};
 pub use path::{AsPath, PathSample, PathSet};
@@ -47,7 +53,9 @@ pub use update::UpdateMessage;
 /// downstream module.
 pub mod prelude {
     pub use crate::asn::{Asn, AsnClass, AsnInterner};
+    pub use crate::bitset::BitSet;
     pub use crate::graph::{AsClass, GroundTruth};
+    pub use crate::parallel::Parallelism;
     pub use crate::path::{AsPath, PathSample, PathSet};
     pub use crate::prefix::Ipv4Prefix;
     pub use crate::relationship::{

@@ -155,7 +155,7 @@ impl Orientation {
 /// twice replaces the previous classification (last writer wins), which is
 /// exactly the semantics of the multi-step pipeline, where later steps may
 /// refine earlier provisional inferences.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RelationshipMap {
     links: HashMap<AsLink, LinkRel>,
 }
@@ -288,13 +288,21 @@ impl RelationshipMap {
         adj
     }
 
-    /// All ASes appearing as an endpoint of at least one link.
+    /// All ASes appearing as an endpoint of at least one link, in
+    /// ascending ASN order (sort + dedup beats a hashed seen-set here,
+    /// and the canonical order hides the link map's iteration order).
     pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
-        let mut seen = std::collections::HashSet::new();
-        self.links
-            .keys()
-            .flat_map(|l| [l.a, l.b])
-            .filter(move |a| seen.insert(*a))
+        let mut endpoints: Vec<Asn> = self.link_endpoints().collect();
+        endpoints.sort_unstable();
+        endpoints.dedup();
+        endpoints.into_iter()
+    }
+
+    /// Raw link endpoints, with repeats, in link-map iteration order.
+    /// Feed this to deduplicating consumers (`AsnInterner::from_ases`
+    /// sorts and dedups anyway) to skip [`Self::ases`]'s extra sort.
+    pub fn link_endpoints(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.links.keys().flat_map(|l| [l.a, l.b])
     }
 
     /// Direct providers of `asn` (linear scan; use [`Self::adjacency`] in

@@ -1,0 +1,288 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface this workspace's benches use:
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter`, and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: per sample, the closure is timed over an
+//! auto-calibrated iteration batch (targeting ~25 ms per sample, like
+//! upstream's warm-up estimate); the reported statistic is the median of
+//! `sample_size` samples, which is robust to scheduler noise on shared
+//! machines. No plots, no statistical regression testing.
+//!
+//! Results always print to stdout. When `CRITERION_JSON` names a file,
+//! one JSON object per benchmark is appended to it:
+//! `{"group":..,"bench":..,"median_ns":..,"mean_ns":..,"samples":..,"throughput":..}`.
+
+#![forbid(unsafe_code)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier `group/function/parameter` for one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter display value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Conversion of the things benches pass as benchmark names.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Number of timed samples per benchmark (min 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Declare per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        self.run(&id, &mut f);
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        self.run(&id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: grow the batch until one batch costs ≥ ~5 ms, so
+        // short benchmarks are not dominated by timer overhead.
+        let mut iters: u64 = 1;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(5) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:.0} elem/s", n as f64 * 1e9 / median)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:.0} B/s", n as f64 * 1e9 / median)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}: median {}  mean {}{}",
+            self.name,
+            id,
+            format_ns(median),
+            format_ns(mean),
+            rate
+        );
+
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            let tp = match self.throughput {
+                Some(Throughput::Elements(n)) => format!(r#","throughput_elems":{n}"#),
+                Some(Throughput::Bytes(n)) => format!(r#","throughput_bytes":{n}"#),
+                None => String::new(),
+            };
+            let line = format!(
+                r#"{{"group":"{}","bench":"{}","median_ns":{:.1},"mean_ns":{:.1},"samples":{},"iters_per_sample":{}{}}}"#,
+                self.name,
+                id,
+                median,
+                mean,
+                samples_ns.len(),
+                iters,
+                tp
+            );
+            if let Ok(mut fh) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(fh, "{line}");
+            }
+        }
+    }
+}
+
+/// Times the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo bench passes harness flags (e.g. --bench); accept and
+            // ignore them.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("scaled", "2x"), &2u64, |b, &k| {
+            b.iter(|| (0..100 * k).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.0), "12 ns");
+        assert_eq!(format_ns(1_500.0), "1.500 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.000 ms");
+        assert_eq!(format_ns(3.2e9), "3.200 s");
+    }
+}

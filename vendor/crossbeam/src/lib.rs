@@ -1,0 +1,94 @@
+//! Offline stand-in for `crossbeam` (0.8 scoped-thread API).
+//!
+//! Since Rust 1.63 the standard library ships scoped threads, so the only
+//! thing this stand-in has to provide is crossbeam's *shape*: a
+//! [`scope`] entry point returning `Result`, and spawn closures that
+//! receive the scope again so workers can spawn sub-workers.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+use std::thread;
+
+/// Boxed payload of a panicked worker, as crossbeam reports it.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle; cheap to copy into worker closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// A handle to a scoped worker thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Wait for the worker and return its result, or the panic payload.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn nested workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&scope)),
+        }
+    }
+}
+
+/// Create a scope for spawning borrowing worker threads. All workers are
+/// joined before `scope` returns. Unlike crossbeam, a panicking
+/// unjoined worker propagates at scope exit (std semantics) rather than
+/// surfacing in the `Err` variant — callers joining every handle (the
+/// pattern used throughout this workspace) observe identical behavior.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_workers_and_collects_results() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace annotates its vocabulary types with
+//! `#[derive(Serialize, Deserialize)]` so downstream consumers can wire
+//! in real serialization, but nothing in-tree ever drives a serializer.
+//! In offline build environments the real crate is unavailable, so this
+//! stand-in supplies the two trait names (as markers) and re-exports the
+//! inert derives from the sibling `serde_derive` stand-in.
+//!
+//! Swapping the workspace back to crates.io serde requires only editing
+//! `[workspace.dependencies]` in the root manifest; no source changes.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Inert `#[derive(Serialize, Deserialize)]` implementations.
+//!
+//! This workspace builds in offline environments with no crates.io
+//! access, so the real `serde_derive` is replaced by this stand-in. The
+//! derives expand to nothing: the workspace only uses serde annotations
+//! to mark types as serializable for downstream consumers and never
+//! invokes a serializer, so marker-level fidelity is sufficient. The
+//! `serde` helper attribute is declared so `#[serde(...)]` field/type
+//! attributes remain legal.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
