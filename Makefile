@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH.json
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
 BENCHES := cones sanitize pipeline propagation
 
-.PHONY: all build test bench clean
+.PHONY: all build test lint audit verify bench clean
 
 all: build
 
@@ -18,6 +18,26 @@ build:
 
 test:
 	$(CARGO) test --workspace
+
+# Source-level determinism/robustness checks (L001–L005). Exit 1 on any
+# violation; annotate intentional exceptions with
+#   // lint: allow(<slug>, <reason>)
+lint:
+	$(CARGO) run --release -p asrank-lint -- --root $(CURDIR)
+
+# Semantic invariant audit over a small end-to-end fixture: generate →
+# simulate → infer, then grade the inferred relationships (CSR shape,
+# clique p2p, cycles, cone containment/agreement, valley-freeness).
+audit: build
+	@tmp=$$(mktemp -d); \
+	./target/release/asrank generate --scale tiny --seed 7 --out $$tmp/topo && \
+	./target/release/asrank simulate --topo $$tmp/topo --vps 8 --seed 7 --out $$tmp/rib.mrt && \
+	./target/release/asrank infer --rib $$tmp/rib.mrt --out $$tmp/as-rel.txt && \
+	./target/release/asrank audit --rels $$tmp/as-rel.txt --rib $$tmp/rib.mrt; \
+	rc=$$?; rm -rf $$tmp; exit $$rc
+
+# The full pre-merge gate: compile, test, source lint, semantic audit.
+verify: build test lint audit
 
 # Run the wired criterion benches with JSON-line capture, then assemble
 # the lines into a single $(BENCH_OUT) snapshot (medians + derived

@@ -1,0 +1,94 @@
+//! `asrank audit` — semantic invariant checks over an inferred as-rel file.
+//!
+//! Grades a relationship assignment against the structural invariants the
+//! inference algorithm promises (CSR well-formedness, clique p2p
+//! completeness, cycle containment, cone containment and agreement) and —
+//! when a RIB is supplied — valley-free consistency of every sanitized
+//! path. Exit 0 when no error-severity findings, 1 otherwise.
+
+use crate::args::Flags;
+use asrank_core::audit::{audit, AuditConfig};
+use asrank_core::read_as_rel;
+use asrank_core::sanitize::{sanitize_with, SanitizeConfig};
+use asrank_types::{Asn, Parallelism};
+use mrt_codec::read_rib_dump;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(rels_path) = flags.required("rels") else {
+        return 2;
+    };
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
+    };
+
+    // Optional clique: comma-separated ASNs expected to be mutually p2p.
+    // Parsed before any file IO so flag mistakes always exit 2.
+    let clique: Option<Vec<Asn>> = match flags.get("clique") {
+        Some(list) => {
+            let mut members = Vec::new();
+            for tok in list.split(',').filter(|t| !t.trim().is_empty()) {
+                match tok.trim().parse::<u32>() {
+                    Ok(n) => members.push(Asn(n)),
+                    Err(_) => {
+                        eprintln!("--clique expects comma-separated ASNs, got {tok:?}");
+                        return 2;
+                    }
+                }
+            }
+            Some(members)
+        }
+        None => None,
+    };
+
+    let file = match std::fs::File::open(rels_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {rels_path}: {e}");
+            return 1;
+        }
+    };
+    let rels = match read_as_rel(std::io::BufReader::new(file)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failed reading as-rel {rels_path}: {e}");
+            return 1;
+        }
+    };
+
+    // Optional RIB: enables the valley-free checks over sanitized paths.
+    let sanitized = match flags.get("rib") {
+        Some(rib) => {
+            let file = match std::fs::File::open(rib) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("cannot open {rib}: {e}");
+                    return 1;
+                }
+            };
+            let paths = match read_rib_dump(std::io::BufReader::new(file)) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("failed reading MRT: {e}");
+                    return 1;
+                }
+            };
+            Some(sanitize_with(&paths, &SanitizeConfig::default(), threads))
+        }
+        None => None,
+    };
+
+    let cfg = AuditConfig {
+        parallelism: threads,
+        ..AuditConfig::default()
+    };
+    let report = audit(&rels, sanitized.as_ref(), clique.as_deref(), &cfg);
+    print!("{}", report.render());
+    if report.passed() {
+        0
+    } else {
+        1
+    }
+}

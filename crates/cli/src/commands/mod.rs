@@ -1,5 +1,6 @@
 //! Subcommand implementations. Each returns a process exit code.
 
+pub mod audit;
 pub mod depeer;
 pub mod diff;
 pub mod generate;

@@ -20,6 +20,7 @@ mod commands;
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let code = match argv.first().map(String::as_str) {
+        Some("audit") => commands::audit::run(&argv[1..]),
         Some("generate") => commands::generate::run(&argv[1..]),
         Some("depeer") => commands::depeer::run(&argv[1..]),
         Some("diff") => commands::diff::run(&argv[1..]),
@@ -54,6 +55,7 @@ subcommands:
   simulate   --topo DIR [--vps N] [--full-feed F] [--seed N] [--threads N]
              [--dest-sample N] [--anomalies none|realistic] --out FILE.mrt
   infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt] [--threads N|auto]
+  audit      --rels as-rel.txt [--rib FILE.mrt] [--clique A,B,C] [--threads N|auto]
   validate   --inferred as-rel.txt --topo DIR [--corpus-seed N]
   rank       --rib FILE.mrt [--topo DIR] [--top N] [--threads N|auto]
   stability  --rib FILE.mrt [--subsamples K] [--seed N]

@@ -156,6 +156,86 @@ fn full_toolchain_roundtrip() {
 }
 
 #[test]
+fn audit_passes_on_inferred_output_and_fails_on_corruption() {
+    let dir = tmp("audit");
+    let topo = dir.join("topo");
+    let rib = dir.join("rib.mrt");
+    let rel = dir.join("as-rel.txt");
+
+    for args in [
+        sv(&["generate", "--scale", "tiny", "--seed", "7", "--out", topo.to_str().unwrap()]),
+        sv(&["simulate", "--topo", topo.to_str().unwrap(), "--vps", "8", "--seed", "7", "--out", rib.to_str().unwrap()]),
+        sv(&["infer", "--rib", rib.to_str().unwrap(), "--out", rel.to_str().unwrap()]),
+    ] {
+        let out = bin().args(&args).output().expect("run pipeline stage");
+        assert!(
+            out.status.success(),
+            "{args:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Clean inferred output: exit 0, every structural check reports ok.
+    let out = bin()
+        .args(sv(&[
+            "audit",
+            "--rels",
+            rel.to_str().unwrap(),
+            "--rib",
+            rib.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run audit");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("PASS"), "{stdout}");
+    assert!(stdout.contains("csr-well-formed"), "{stdout}");
+    assert!(stdout.contains("cone-containment"), "{stdout}");
+
+    // Deliberately corrupt the relationship file (demote every c2p to
+    // p2p): the observed paths are no longer explicable and the audit
+    // must fail loudly with exit 1.
+    let text = std::fs::read_to_string(&rel).unwrap();
+    let corrupted = dir.join("corrupted.txt");
+    std::fs::write(&corrupted, text.replace("|-1", "|0")).unwrap();
+    let out = bin()
+        .args(sv(&[
+            "audit",
+            "--rels",
+            corrupted.to_str().unwrap(),
+            "--rib",
+            rib.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("run audit on corrupted file");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL"), "{stdout}");
+    assert!(stdout.contains("ERROR"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn audit_flag_errors() {
+    // Missing required --rels is a usage error.
+    let out = bin().arg("audit").output().expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    // Unreadable file is a runtime error.
+    let out = bin()
+        .args(["audit", "--rels", "/nonexistent/as-rel.txt"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(1));
+    // Malformed clique list is a usage error.
+    let out = bin()
+        .args(["audit", "--rels", "/nonexistent/as-rel.txt", "--clique", "1,x"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let out = bin().arg("frobnicate").output().expect("run");
     assert_eq!(out.status.code(), Some(2));

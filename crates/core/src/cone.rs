@@ -148,7 +148,7 @@ impl PrefixWeights {
         if let Some(table) = prefixes {
             for (id, asn) in interner.iter() {
                 if let Some(pfx) = table.get(&asn) {
-                    count[id as usize] = pfx.len() as u32;
+                    count[id as usize] = dense_id(pfx.len());
                     addresses[id as usize] =
                         pfx.iter().map(Ipv4Prefix::address_count).sum::<u64>();
                 }
@@ -271,7 +271,11 @@ impl CustomerCones {
             .c2p_pairs()
             .map(|(c, p)| {
                 (
+                    // The interner was built from these same endpoints,
+                    // so every c2p member is interned by construction.
+                    // lint: allow(panics, interner seeded from rels.link_endpoints covers every c2p endpoint)
                     interner.get(p).expect("interned"),
+                    // lint: allow(panics, interner seeded from rels.link_endpoints covers every c2p endpoint)
                     interner.get(c).expect("interned"),
                 )
             })
@@ -376,9 +380,9 @@ impl CustomerCones {
     ) -> Self {
         let interner = AsnInterner::from_ases(rels.link_endpoints());
         let n = interner.len();
-        let mut customers: HashMap<Asn, Vec<Asn>> = HashMap::new();
+        let mut customers_by_provider: HashMap<Asn, Vec<Asn>> = HashMap::new();
         for (c, p) in rels.c2p_pairs() {
-            customers.entry(p).or_default().push(c);
+            customers_by_provider.entry(p).or_default().push(c);
         }
         let mut members_flat = Vec::new();
         let mut bounds = Vec::with_capacity(n + 1);
@@ -389,7 +393,11 @@ impl CustomerCones {
             let mut stack = vec![asn];
             seen.insert(asn);
             while let Some(x) = stack.pop() {
-                for &c in customers.get(&x).map(Vec::as_slice).unwrap_or(&[]) {
+                for &c in customers_by_provider
+                    .get(&x)
+                    .map(Vec::as_slice)
+                    .unwrap_or(&[])
+                {
                     if seen.insert(c) {
                         stack.push(c);
                     }
@@ -399,7 +407,7 @@ impl CustomerCones {
             members.sort_unstable();
             sizes.push(measure_hashed(&members, prefixes));
             members_flat.extend_from_slice(&members);
-            bounds.push(members_flat.len() as u32);
+            bounds.push(dense_id(members_flat.len()));
         }
         CustomerCones {
             interner,
@@ -505,15 +513,20 @@ impl ObservedContext {
             AsnInterner::from_ases(sanitized.paths().flat_map(|p| p.iter()));
         let n = interner.len();
 
-        let distinct: HashSet<&AsPath> = sanitized.paths().collect();
-        let paths: Vec<Vec<u32>> = distinct
-            .into_iter()
+        // Distinct paths in sorted id order: dedup via sort rather than a
+        // HashSet so downstream traversal order is reproducible (L001).
+        let mut paths: Vec<Vec<u32>> = sanitized
+            .paths()
             .map(|p| {
                 p.iter()
+                    // The interner was seeded from these same paths above.
+                    // lint: allow(panics, interner built from sanitized.paths covers every path ASN)
                     .map(|a| interner.get(a).expect("interned"))
                     .collect()
             })
             .collect();
+        paths.sort_unstable();
+        paths.dedup();
 
         // Witness edges restricted to interned (path-observed) ASes:
         // x → w where w is x's provider (c2p), optionally also peers.
@@ -694,7 +707,7 @@ fn closure_dp(
         let c = c as usize;
         let customers = comp_customers.neighbors(c as u32);
         if customers.is_empty() {
-            counts[c] = members_of(c).len() as u32; // leaf
+            counts[c] = dense_id(members_of(c).len()); // leaf
             continue;
         }
         // Pre-dedup upper bound on the cone; customers are already
@@ -721,10 +734,10 @@ fn closure_dp(
             }
             scratch.sort_unstable();
             scratch.dedup();
-            counts[c] = scratch.len() as u32;
-            let lo = small_arena.len() as u32;
+            counts[c] = dense_id(scratch.len());
+            let lo = dense_id(small_arena.len());
             small_arena.extend_from_slice(&scratch);
-            cones[c] = Some(Cone::Small(lo, small_arena.len() as u32));
+            cones[c] = Some(Cone::Small(lo, dense_id(small_arena.len())));
         } else {
             let mut bits = BitSet::new(n);
             for &m in members_of(c) {
@@ -745,7 +758,7 @@ fn closure_dp(
                     Some(Cone::Big(b)) => bits.union_with(b),
                 }
             }
-            counts[c] = bits.count_ones() as u32;
+            counts[c] = dense_id(bits.count_ones());
             cones[c] = Some(Cone::Big(bits));
         }
     }
@@ -843,10 +856,11 @@ impl ChunkSets {
         let mut bounds = Vec::with_capacity(nsets + 1);
         bounds.push(0u32);
         let mut sizes = Vec::with_capacity(nsets);
+        let mut cursor = 0u32;
         for chunk in chunks {
             for len in chunk.lens {
-                let prev = *bounds.last().expect("bounds start with 0");
-                bounds.push(prev + len);
+                cursor += len;
+                bounds.push(cursor);
             }
             flat.extend_from_slice(&chunk.members);
             sizes.extend(chunk.sizes);

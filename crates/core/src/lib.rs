@@ -34,6 +34,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod centrality;
 pub mod clique;
 pub mod cone;

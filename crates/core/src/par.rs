@@ -35,9 +35,11 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(panics, re-raises a child panic on the caller thread; swallowing it would return truncated results)
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
+    // lint: allow(panics, scope only errs when a worker panicked; the join above already re-raised it)
     .expect("crossbeam scope failed")
 }
 
@@ -70,9 +72,11 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(panics, re-raises a child panic on the caller thread; swallowing it would return truncated results)
             .map(|h| h.join().expect("parallel worker panicked"))
             .collect()
     })
+    // lint: allow(panics, scope only errs when a worker panicked; the join above already re-raised it)
     .expect("crossbeam scope failed")
 }
 

@@ -81,24 +81,24 @@ pub fn run(
 /// between two Tier-1s.
 pub fn discard_poisoned(
     paths: Vec<AsPath>,
-    clique: &HashSet<Asn>,
+    clique_set: &HashSet<Asn>,
     report: &mut InferenceReport,
 ) -> Vec<AsPath> {
     let before = paths.len();
     let kept: Vec<AsPath> = paths
         .into_iter()
-        .filter(|p| !is_poisoned(p, clique))
+        .filter(|p| !is_poisoned(p, clique_set))
         .collect();
     report.discarded_poisoned = before - kept.len();
     kept
 }
 
-fn is_poisoned(path: &AsPath, clique: &HashSet<Asn>) -> bool {
+fn is_poisoned(path: &AsPath, clique_set: &HashSet<Asn>) -> bool {
     // Scan for clique, then ≥1 non-clique, then clique again.
     let mut seen_clique = false;
     let mut gap_since_clique = false;
     for asn in path.iter() {
-        if clique.contains(&asn) {
+        if clique_set.contains(&asn) {
             if seen_clique && gap_since_clique {
                 return true;
             }
@@ -122,22 +122,23 @@ fn is_poisoned(path: &AsPath, clique: &HashSet<Asn>) -> bool {
 pub fn infer_topdown(
     paths: &[AsPath],
     degrees: &DegreeTable,
-    clique: &HashSet<Asn>,
+    clique_set: &HashSet<Asn>,
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    // Index: AS → (path index, position) occurrences.
-    let mut occurrences: HashMap<Asn, Vec<(u32, u16)>> = HashMap::new();
+    // Index: AS → (path index, position) occurrences, with checked id
+    // narrowing (L005) — a >4G-path or >4G-hop input is corrupt, not big.
+    let mut occurrences: HashMap<Asn, Vec<(u32, u32)>> = HashMap::new();
     for (pi, path) in paths.iter().enumerate() {
         for (pos, asn) in path.iter().enumerate() {
             occurrences
                 .entry(asn)
                 .or_default()
-                .push((pi as u32, pos as u16));
+                .push((dense_id(pi), dense_id(pos)));
         }
     }
 
-    let mut visited: HashSet<Asn> = clique.clone();
+    let mut visited: HashSet<Asn> = clique_set.clone();
 
     for &z in degrees.ranked() {
         let Some(occ) = occurrences.get(&z) else {
@@ -265,7 +266,7 @@ pub fn repair_anomalies(
 pub fn infer_stub_clique(
     paths: &[AsPath],
     degrees: &DegreeTable,
-    clique: &HashSet<Asn>,
+    clique_set: &HashSet<Asn>,
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
@@ -273,9 +274,9 @@ pub fn infer_stub_clique(
         if rels.get(link.a, link.b).is_some() {
             continue;
         }
-        let (stub, top) = if clique.contains(&link.a) && degrees.transit_degree(link.b) == 0 {
+        let (stub, top) = if clique_set.contains(&link.a) && degrees.transit_degree(link.b) == 0 {
             (link.b, link.a)
-        } else if clique.contains(&link.b) && degrees.transit_degree(link.a) == 0 {
+        } else if clique_set.contains(&link.b) && degrees.transit_degree(link.a) == 0 {
             (link.a, link.b)
         } else {
             continue;
@@ -292,7 +293,7 @@ pub fn infer_stub_clique(
 pub fn infer_providerless(
     paths: &[AsPath],
     degrees: &DegreeTable,
-    clique: &HashSet<Asn>,
+    clique_set: &HashSet<Asn>,
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
@@ -314,7 +315,7 @@ pub fn infer_providerless(
     // Visit from the bottom of the hierarchy upward: small ASes have the
     // clearest upstream signal.
     for &z in degrees.ranked().iter().rev() {
-        if clique.contains(&z) || degrees.transit_degree(z) == 0 {
+        if clique_set.contains(&z) || degrees.transit_degree(z) == 0 {
             continue;
         }
         let Some(neigh) = freq.get(&z) else { continue };
@@ -364,7 +365,9 @@ pub fn audit_cycles(rels: &RelationshipMap) -> usize {
         .c2p_pairs()
         .map(|(c, p)| {
             (
+                // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
                 interner.get(c).expect("interned"),
+                // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
                 interner.get(p).expect("interned"),
             )
         })
@@ -373,7 +376,9 @@ pub fn audit_cycles(rels: &RelationshipMap) -> usize {
     let scc = crate::scc::tarjan(n, &adj);
     rels.c2p_pairs()
         .filter(|&(c, p)| {
+            // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
             let ci = interner.get(c).expect("interned") as usize;
+            // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
             let pi = interner.get(p).expect("interned") as usize;
             scc.comp[ci] == scc.comp[pi] && scc.on_cycle(ci)
         })

@@ -80,6 +80,7 @@ pub fn tarjan<A: crate::csr::Adjacency>(n: usize, adj: A) -> Scc {
                     // v roots a component.
                     let mut size = 0u32;
                     loop {
+                        // lint: allow(panics, Tarjan invariant — v is on the stack whenever it roots a component)
                         let w = stack.pop().expect("tarjan stack underflow");
                         on_stack[w as usize] = false;
                         comp[w as usize] = comp_count;
@@ -160,5 +161,41 @@ mod tests {
     fn empty_graph() {
         let s = tarjan(0, Vec::<Vec<u32>>::new());
         assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn self_loop_is_a_singleton_component() {
+        // A self-loop keeps its node in a size-1 component; `on_cycle`
+        // is size-based and therefore stays false. Relationship graphs
+        // cannot contain self-loops (links join distinct ASes), so this
+        // documents rather than guards the behavior.
+        let a = adj(3, &[(0, 0), (0, 1), (1, 2)]);
+        let s = tarjan(3, &a);
+        assert_eq!(s.count, 3);
+        assert!(!s.on_cycle(0));
+        assert_eq!(s.sizes[s.comp[0] as usize], 1);
+    }
+
+    #[test]
+    fn two_cycle_is_one_component_of_size_two() {
+        let a = adj(3, &[(0, 1), (1, 0), (1, 2)]);
+        let s = tarjan(3, &a);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.comp[0], s.comp[1]);
+        assert!(s.on_cycle(0) && s.on_cycle(1));
+        assert!(!s.on_cycle(2));
+        assert_eq!(s.sizes[s.comp[0] as usize], 2);
+    }
+
+    #[test]
+    fn full_cycle_collapses_to_one_component() {
+        // Ring through every node: the whole graph is a single SCC.
+        let n = 64;
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let a = adj(n, &edges);
+        let s = tarjan(n, &a);
+        assert_eq!(s.count, 1);
+        assert!((0..n).all(|v| s.on_cycle(v)));
+        assert_eq!(s.sizes, vec![n as u32]);
     }
 }

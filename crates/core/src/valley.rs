@@ -193,6 +193,53 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_lengths_are_valley_free() {
+        let r = rels();
+        // Length-1 (origin only) and empty paths have no links to grade.
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([100]), &r),
+            ValleyVerdict::ValleyFree
+        );
+        assert_eq!(
+            check_valley_free(&AsPath(Vec::new()), &r),
+            ValleyVerdict::ValleyFree
+        );
+        // Length-2 paths grade the single link on its own.
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([100, 10]), &r),
+            ValleyVerdict::ValleyFree
+        );
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([1, 2]), &r),
+            ValleyVerdict::ValleyFree
+        );
+        // A length-1 path of full prepending compresses to length 1.
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([100, 100, 100]), &r),
+            ValleyVerdict::ValleyFree
+        );
+    }
+
+    #[test]
+    fn poisoned_paths_grade_on_link_shape_only() {
+        // Loop poisoning (an AS appearing twice, non-adjacent) is the
+        // sanitizer's job to remove; the valley checker only grades link
+        // orientations. A poisoned path that climbs back up after
+        // descending is still flagged as a valley…
+        let r = rels();
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([1, 10, 1]), &r),
+            ValleyVerdict::AscentAfterDescent { position: 1 }
+        );
+        // …while a looped path whose links are all legitimate passes,
+        // documenting that loop detection must happen upstream.
+        assert_eq!(
+            check_valley_free(&AsPath::from_u32s([100, 10, 11, 10]), &r),
+            ValleyVerdict::ValleyFree
+        );
+    }
+
+    #[test]
     fn fraction() {
         let r = rels();
         let good = AsPath::from_u32s([100, 10, 1]);

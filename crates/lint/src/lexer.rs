@@ -1,0 +1,454 @@
+//! A minimal Rust lexer: just enough to blank out comments and string
+//! literals so the rule engine can pattern-match on *code* without being
+//! fooled by text inside `"..."` or `// ...`.
+//!
+//! The output preserves the byte-per-byte line structure of the input
+//! (every blanked character becomes a space, newlines survive), so any
+//! column computed on the stripped text maps directly back to the source.
+//!
+//! Handled: line comments (`//`, `///`, `//!`), nested block comments
+//! (`/* /* */ */`, `/** ... */`), string literals with escapes, byte
+//! strings (`b"..."`), raw strings (`r"..."`, `r#"..."#`, `br##"..."##`),
+//! char literals (`'x'`, `'\n'`, `b'x'`) vs lifetimes (`'a`, `'static`),
+//! and raw identifiers (`r#fn`).
+
+/// One `// lint: allow(rule, reason)` annotation parsed out of a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule slug being allowed, e.g. `nondeterministic-iter`.
+    pub rule: String,
+    /// Free-text justification. Empty when the author omitted it — the
+    /// rule engine refuses to honour reason-less annotations.
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+}
+
+/// Result of stripping one source file.
+#[derive(Debug)]
+pub struct Stripped {
+    /// Code-only lines: comments and string/char contents replaced by
+    /// spaces. Same number of lines as the input.
+    pub lines: Vec<String>,
+    /// `true` for lines that carry a doc comment (`///`, `//!`, `/** */`).
+    pub doc: Vec<bool>,
+    /// All allow-annotations found in comments.
+    pub allows: Vec<Allow>,
+}
+
+impl Stripped {
+    /// True when an allow-annotation for `slug` (with a non-empty reason)
+    /// covers `line`: annotations apply to their own line (trailing
+    /// comment) and to the line immediately below (comment above code).
+    pub fn allowed(&self, slug: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == slug && !a.reason.is_empty() && (a.line == line || a.line + 1 == line))
+    }
+
+    /// True when an annotation for `slug` covers `line` but was written
+    /// without a reason — reported so authors know why it was ignored.
+    pub fn allowed_without_reason(&self, slug: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == slug && a.reason.is_empty() && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Strip `source` down to code-only text. Never fails: unterminated
+/// constructs simply blank to end-of-file, which is the useful behaviour
+/// for a linter that must not crash on the code it inspects.
+pub fn strip(source: &str) -> Stripped {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(chars.len());
+    let mut doc_marks: Vec<usize> = Vec::new(); // char indices inside doc comments
+    let mut comments: Vec<(usize, String)> = Vec::new(); // (start idx, text)
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '/' if i + 1 < chars.len() && chars[i + 1] == '/' => {
+                // Line comment; classify doc-ness by the third char.
+                let start = i;
+                let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'))
+                    // `////...` dividers are not doc comments.
+                    && chars.get(i + 3) != Some(&'/');
+                let mut text = String::new();
+                while i < chars.len() && chars[i] != '\n' {
+                    text.push(chars[i]);
+                    blank(&mut out);
+                    i += 1;
+                }
+                if is_doc {
+                    doc_marks.push(start);
+                }
+                comments.push((start, text));
+            }
+            '/' if i + 1 < chars.len() && chars[i + 1] == '*' => {
+                let start = i;
+                let is_doc = matches!(chars.get(i + 2), Some('*') | Some('!'))
+                    && chars.get(i + 3) != Some(&'/'); // `/**/` is empty, not doc
+                let mut depth = 0usize;
+                let mut text = String::new();
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        push2(&mut out, chars[i]);
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        text.push('*');
+                        text.push('/');
+                        push2(&mut out, chars[i]);
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        text.push(chars[i]);
+                        if chars[i] == '\n' {
+                            out.push('\n');
+                        } else {
+                            out.push(' ');
+                        }
+                        i += 1;
+                    }
+                }
+                if is_doc {
+                    doc_marks.push(start);
+                    // Doc block comments can span lines; mark each.
+                    for (off, ch) in text.char_indices() {
+                        if ch == '\n' {
+                            doc_marks.push(start + text[..off].chars().count());
+                        }
+                    }
+                }
+                comments.push((start, text));
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut out);
+            }
+            'b' if !ident_before(&out)
+                && matches!(chars.get(i + 1), Some('"') | Some('\'') | Some('r')) =>
+            {
+                match chars[i + 1] {
+                    '"' => {
+                        out.push('b');
+                        i = skip_string(&chars, i + 1, &mut out);
+                    }
+                    '\'' => {
+                        out.push('b');
+                        i = skip_char_literal(&chars, i + 1, &mut out);
+                    }
+                    _ => {
+                        // `br#"..."#` or plain identifier starting with `br`.
+                        if let Some(end) = raw_string_end(&chars, i + 1) {
+                            out.push('b');
+                            blank_range(&chars, i + 1, end, &mut out);
+                            i = end;
+                        } else {
+                            out.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            'r' if !ident_before(&out) => {
+                if let Some(end) = raw_string_end(&chars, i) {
+                    blank_range(&chars, i, end, &mut out);
+                    i = end;
+                } else {
+                    // `r#ident` raw identifier or ordinary `r...` ident.
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                if chars.get(i + 1) == Some(&'\\') {
+                    i = skip_char_literal(&chars, i, &mut out);
+                } else if chars.get(i + 2) == Some(&'\'')
+                    && chars.get(i + 1).map(|c| *c != '\'').unwrap_or(false)
+                {
+                    i = skip_char_literal(&chars, i, &mut out);
+                } else {
+                    out.push('\''); // lifetime tick; identifier follows normally
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    let stripped_text: String = out.into_iter().collect();
+    let lines: Vec<String> = split_keep_empty(&stripped_text);
+
+    // Map char indices to line numbers for doc marks and comments.
+    let mut line_of = Vec::with_capacity(chars.len() + 1);
+    let mut ln = 0usize;
+    for &ch in &chars {
+        line_of.push(ln);
+        if ch == '\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let mut doc = vec![false; lines.len()];
+    for idx in doc_marks {
+        if let Some(&l) = line_of.get(idx) {
+            if l < doc.len() {
+                doc[l] = true;
+            }
+        }
+    }
+
+    let mut allows = Vec::new();
+    for (idx, text) in &comments {
+        let line = line_of.get(*idx).copied().unwrap_or(0) + 1;
+        parse_allows(text, line, &mut allows);
+    }
+
+    Stripped { lines, doc, allows }
+}
+
+fn blank(out: &mut Vec<char>) {
+    out.push(' ');
+}
+
+fn push2(out: &mut Vec<char>, _c: char) {
+    out.push(' ');
+    out.push(' ');
+}
+
+fn ident_before(out: &[char]) -> bool {
+    out.last()
+        .map(|c| c.is_alphanumeric() || *c == '_')
+        .unwrap_or(false)
+}
+
+/// Starting at a `"` at `chars[i]`, blank the literal (escapes honoured)
+/// and return the index one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, out: &mut Vec<char>) -> usize {
+    out.push(' '); // opening quote
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => {
+                out.push(' ');
+                if i + 1 < chars.len() {
+                    if chars[i + 1] == '\n' {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            '"' => {
+                out.push(' ');
+                return i + 1;
+            }
+            '\n' => {
+                out.push('\n');
+                i += 1;
+            }
+            _ => {
+                out.push(' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Starting at the opening `'` of a char literal, blank it and return the
+/// index one past the closing `'`.
+fn skip_char_literal(chars: &[char], mut i: usize, out: &mut Vec<char>) -> usize {
+    out.push(' ');
+    i += 1;
+    if chars.get(i) == Some(&'\\') {
+        out.push(' ');
+        i += 1;
+        if i < chars.len() {
+            out.push(' ');
+            i += 1;
+            // \u{...} escapes
+            if chars.get(i.wrapping_sub(1)) == Some(&'u') && chars.get(i) == Some(&'{') {
+                while i < chars.len() && chars[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    } else if i < chars.len() {
+        out.push(' ');
+        i += 1;
+    }
+    if chars.get(i) == Some(&'\'') {
+        out.push(' ');
+        i += 1;
+    }
+    i
+}
+
+/// If `chars[i..]` begins a raw string (`r"`, `r#"`, `r##"`, ...), return
+/// the index one past its terminator; otherwise `None`.
+fn raw_string_end(chars: &[char], i: usize) -> Option<usize> {
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None; // raw identifier like `r#fn`
+    }
+    j += 1;
+    // Find `"` followed by `hashes` hashes.
+    while j < chars.len() {
+        if chars[j] == '"' {
+            let mut k = 0usize;
+            while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return Some(j + 1 + hashes);
+            }
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Blank `chars[from..to]` into `out`, preserving newlines.
+fn blank_range(chars: &[char], from: usize, to: usize, out: &mut Vec<char>) {
+    for &c in &chars[from..to.min(chars.len())] {
+        out.push(if c == '\n' { '\n' } else { ' ' });
+    }
+}
+
+fn split_keep_empty(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = text.split('\n').map(|s| s.to_string()).collect();
+    // `split` yields a trailing empty slice for text ending in '\n';
+    // keep it so line counts match editors' 1-based expectations.
+    if text.is_empty() {
+        lines = vec![String::new()];
+    }
+    lines
+}
+
+/// Parse `lint: allow(rule)` / `lint: allow(rule, reason)` out of one
+/// comment's text, appending to `allows`. Multiple annotations per
+/// comment are honoured.
+fn parse_allows(comment: &str, line: usize, allows: &mut Vec<Allow>) {
+    let mut rest = comment;
+    while let Some(pos) = rest.find("lint:") {
+        rest = &rest[pos + 5..];
+        let trimmed = rest.trim_start();
+        if let Some(body) = trimmed.strip_prefix("allow(") {
+            if let Some(close) = body.find(')') {
+                let inner = &body[..close];
+                let (rule, reason) = match inner.find(',') {
+                    Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+                    None => (inner.trim(), ""),
+                };
+                if !rule.is_empty() {
+                    allows.push(Allow {
+                        rule: rule.to_string(),
+                        reason: reason.to_string(),
+                        line,
+                    });
+                }
+                rest = &body[close..];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_and_keeps_columns() {
+        let s = strip("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].starts_with("let x = 1; "));
+        assert_eq!(s.lines[1], "let y = 2;");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let s = strip("let s = \"HashMap.iter()\";\n");
+        assert!(!s.lines[0].contains("HashMap"));
+        assert!(s.lines[0].contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let s = strip("let a = r#\"unwrap() \"quoted\"\"#; let r#fn = 1;\n");
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(s.lines[0].contains("r#fn"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let s = strip("fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }\n");
+        assert!(s.lines[0].contains("<'a>"));
+        assert!(s.lines[0].contains("&'a str"));
+        assert!(!s.lines[0].contains("'x'"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = strip("a /* outer /* inner */ still comment */ b\n");
+        assert!(s.lines[0].contains('a'));
+        assert!(s.lines[0].contains('b'));
+        assert!(!s.lines[0].contains("comment"));
+    }
+
+    #[test]
+    fn doc_lines_marked() {
+        let s = strip("/// docs\npub fn f() {}\n//! module\n// plain\n");
+        assert!(s.doc[0]);
+        assert!(!s.doc[1]);
+        assert!(s.doc[2]);
+        assert!(!s.doc[3]);
+    }
+
+    #[test]
+    fn allow_annotations_parse() {
+        let s = strip("// lint: allow(nondeterministic-iter, merge is order-free)\nfor k in m.keys() {}\n");
+        assert!(s.allowed("nondeterministic-iter", 1));
+        assert!(s.allowed("nondeterministic-iter", 2));
+        assert!(!s.allowed("nondeterministic-iter", 3));
+        assert!(!s.allowed("panics", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_ignored_but_detected() {
+        let s = strip("let x = 1; // lint: allow(panics)\n");
+        assert!(!s.allowed("panics", 1));
+        assert!(s.allowed_without_reason("panics", 1));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_count() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;\n";
+        let s = strip(src);
+        assert_eq!(s.lines.len(), src.split('\n').count());
+        assert!(s.lines[3].contains("let t"));
+    }
+}

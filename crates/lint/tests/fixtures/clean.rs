@@ -1,0 +1,33 @@
+// Clean fixture: linted under the most heavily scoped label
+// (crates/core/src/pipeline/...) and must produce zero findings.
+use std::collections::{HashMap, HashSet};
+
+/// Deterministic drain of a hash map: collect then sort.
+pub fn sorted_keys(m: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+    ks
+}
+
+/// Order-insensitive reduction over a hash set.
+pub fn contains_even(s: &HashSet<u32>) -> bool {
+    s.iter().any(|&x| x % 2 == 0)
+}
+
+/// Checked conversions only; errors surface as values, not panics.
+pub fn safe_len(v: &[u32]) -> Result<u32, std::num::TryFromIntError> {
+    u32::try_from(v.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anything_goes_in_tests() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for _k in m.keys() {}
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,48 @@
+// Fixture for L001 (nondeterministic-iter). Linted under a label inside
+// a determinism-critical module; expected findings are asserted by line
+// number in tests/selftest.rs — keep line positions stable.
+use std::collections::{HashMap, HashSet};
+
+fn sorted_is_fine(m: &HashMap<u32, u32>) {
+    let mut ks: Vec<u32> = m.keys().copied().collect();
+    ks.sort_unstable();
+}
+
+fn order_free_sink_is_fine(s2: &HashSet<u32>) {
+    let any = s2.iter().any(|&x| x > 3);
+    let n = s2.iter().count();
+    drop((any, n));
+}
+
+fn annotated_is_fine(m: &HashMap<u32, u32>) {
+    // lint: allow(nondeterministic-iter, feeds a commutative sum in the caller)
+    for k in m.keys() {}
+}
+
+fn violations(m: &HashMap<u32, u32>) {
+    for k in m.keys() {} // line 23: keys() iteration, no sort
+    let s: HashSet<u32> = HashSet::new();
+    let v: Vec<u32> = s.iter().copied().collect(); // line 25: unsorted collect
+    drop(v);
+    for (k, val) in m {} // line 27: bare for-in over the map
+}
+
+fn annotation_without_reason_still_flagged(m: &HashMap<u32, u32>) {
+    // lint: allow(nondeterministic-iter)
+    for k in m.keys() {} // line 32: reason-less annotation does not count
+}
+
+fn multiline_chain(s: HashSet<u32>) {
+    let v: Vec<u32> = s // line 36: chain broken across lines
+        .into_iter()
+        .collect();
+    drop(v);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn in_tests_is_fine(m: &HashMap<u32, u32>) {
+        for k in m.keys() {} // test code: exempt
+    }
+}

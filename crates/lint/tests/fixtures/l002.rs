@@ -1,0 +1,39 @@
+// Fixture for L002 (panics). Linted under a crates/core/src label.
+// Expected findings asserted by line in tests/selftest.rs.
+
+fn violations(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap(); // line 5
+    let b = r.expect("should be ok"); // line 6
+    if a > b {
+        panic!("a exceeded b"); // line 8
+    }
+    match a {
+        0 => unreachable!(), // line 11
+        1 => todo!(), // line 12
+        2 => unimplemented!(), // line 13
+        _ => a + b,
+    }
+}
+
+fn not_flagged(x: Option<u32>) -> u32 {
+    // unwrap_or / unwrap_or_else / expect_err are not panic sites.
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 1);
+    let s = "panic! inside a string is fine";
+    drop(s);
+    a + b
+}
+
+fn annotated(x: Option<u32>) -> u32 {
+    // lint: allow(panics, caller guarantees x is Some by construction)
+    x.expect("always present")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

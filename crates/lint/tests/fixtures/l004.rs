@@ -1,0 +1,49 @@
+// Fixture for L004 (missing-doc). Linted under a crates/core/src label.
+
+/// Documented: fine.
+pub fn documented() {}
+
+pub fn undocumented() {} // line 6
+
+/// Documented through an attribute stack: fine.
+#[inline]
+#[must_use]
+pub fn documented_behind_attrs() -> u32 {
+    1
+}
+
+#[inline]
+pub fn undocumented_behind_attr() {} // line 16
+
+// A plain comment is not a doc comment.
+pub fn undocumented_with_plain_comment() {} // line 19
+
+#[doc = "attribute-style docs are accepted"]
+pub fn documented_by_attribute() {}
+
+pub(crate) fn crate_visible_needs_no_doc() {}
+
+fn private_needs_no_doc() {}
+
+/// Documented const fn: fine.
+pub const fn documented_const() -> u32 {
+    2
+}
+
+pub const fn undocumented_const() -> u32 {
+    3 // header line 33 is the finding
+}
+
+struct S;
+
+impl S {
+    /// Documented method: fine.
+    pub fn documented_method(&self) {}
+
+    pub fn undocumented_method(&self) {} // line 43
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn test_helpers_need_no_doc() {}
+}

@@ -1,0 +1,26 @@
+// Fixture for L005 (narrowing-cast). Linted under a crates/core/src label.
+
+fn violations(ids: &[u32], pos: usize) -> (u8, u16, u32, u32) {
+    let a = pos as u8; // line 4
+    let b = pos as u16; // line 5
+    let c = ids.len() as u32; // line 6
+    let d = ids.iter().count() as u32; // line 7
+    (a, b, c, d)
+}
+
+fn checked_or_widening_is_fine(ids: &[u32], x: u32) -> (u32, usize, u64) {
+    let a = u32::try_from(ids.len()).unwrap_or(u32::MAX);
+    let b = x as usize; // widening: fine
+    let c = x as u64; // widening: fine
+    (a, b, c)
+}
+
+fn plain_u32_cast_is_fine(pos: usize) -> u32 {
+    // Not preceded by len()/count(): the heuristic stays quiet.
+    pos as u32
+}
+
+fn annotated(ids: &[u32]) -> u32 {
+    // lint: allow(narrowing-cast, bench-only path with <1k ids)
+    ids.len() as u32
+}

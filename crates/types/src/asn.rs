@@ -35,6 +35,25 @@ pub enum AsnClass {
     LastReserved,
 }
 
+/// Checked narrowing of a `usize` count/offset into the dense-id domain
+/// (`u32`).
+///
+/// Dense AS ids, CSR offsets, and cone bounds all live in `u32`; lengths
+/// and cursor positions live in `usize`. A raw `as u32` at the boundary
+/// would wrap silently past 2^32 — far beyond any real AS topology, but
+/// "impossible" sizes are exactly what audits exist to catch. This is the
+/// one sanctioned conversion (lint rule L005 flags raw casts everywhere
+/// outside this module).
+///
+/// # Panics
+///
+/// Panics if `n` exceeds `u32::MAX`, which would mean the id space
+/// itself is corrupt.
+#[inline]
+pub fn dense_id(n: usize) -> u32 {
+    u32::try_from(n).expect("dense-id domain overflow: count exceeds u32::MAX")
+}
+
 impl Asn {
     /// Classify this ASN against the IANA special-purpose registry.
     ///

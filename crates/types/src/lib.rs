@@ -36,7 +36,7 @@ pub mod relationship;
 pub mod trie;
 pub mod update;
 
-pub use asn::{Asn, AsnClass, AsnInterner};
+pub use asn::{dense_id, Asn, AsnClass, AsnInterner};
 pub use bitset::BitSet;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::Parallelism;
@@ -52,7 +52,7 @@ pub use update::UpdateMessage;
 /// Convenience prelude re-exporting the types used by virtually every
 /// downstream module.
 pub mod prelude {
-    pub use crate::asn::{Asn, AsnClass, AsnInterner};
+    pub use crate::asn::{dense_id, Asn, AsnClass, AsnInterner};
     pub use crate::bitset::BitSet;
     pub use crate::graph::{AsClass, GroundTruth};
     pub use crate::parallel::Parallelism;
