@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH.json
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
 BENCHES := cones sanitize pipeline propagation
 
-.PHONY: all build test lint audit verify bench clean
+.PHONY: all build test lint audit verify bench bench-cones clean
 
 all: build
 
@@ -50,6 +50,16 @@ bench:
 		CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench $$b || exit 1; \
 	done
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+
+# Cone benches only, gated: assemble a fresh snapshot from the `cones`
+# group and diff its derived speedup ratios against the PR1 baseline,
+# failing if the recursive-cone speedup regresses below 4.0x.
+bench-cones:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench cones
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR1.json
 
 clean:
 	$(CARGO) clean

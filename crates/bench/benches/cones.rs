@@ -4,6 +4,7 @@ use as_topology_gen::{generate, TopologyConfig};
 use asrank_core::cone::CustomerCones;
 use asrank_core::pipeline::{infer, InferenceConfig};
 use asrank_core::{sanitize, SanitizeConfig};
+use asrank_types::prelude::Parallelism;
 use bgp_sim::{simulate, SimConfig, VpSelection};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -34,18 +35,63 @@ fn bench_cones(c: &mut Criterion) {
                 b.iter(|| black_box(CustomerCones::recursive_reference(rels, Some(prefixes))))
             },
         );
+        // The arena engines, measured per cone flavour over the shared
+        // prebuilt arena — exactly what `ConeSets::compute` pays per
+        // flavour (the pipeline builds the arena once; its one-shot cost
+        // is the separate `arena_build` bench below).
+        let arena = clean.arena();
         group.bench_with_input(
             BenchmarkId::new("bgp_observed", name),
-            &(&clean, rels),
-            |b, (clean, rels)| b.iter(|| black_box(CustomerCones::bgp_observed(clean, rels, None))),
+            &(&arena, rels),
+            |b, (arena, rels)| {
+                b.iter(|| {
+                    black_box(CustomerCones::bgp_observed_from_arena(
+                        arena,
+                        rels,
+                        None,
+                        Parallelism::auto(),
+                    ))
+                })
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("provider_peer", name),
-            &(&clean, rels),
-            |b, (clean, rels)| {
-                b.iter(|| black_box(CustomerCones::provider_peer_observed(clean, rels, None)))
+            &(&arena, rels),
+            |b, (arena, rels)| {
+                b.iter(|| {
+                    black_box(CustomerCones::provider_peer_observed_from_arena(
+                        arena,
+                        rels,
+                        None,
+                        Parallelism::auto(),
+                    ))
+                })
             },
         );
+        // The pre-arena per-AS-rescan engines (the PR1 baselines, kept as
+        // proptest oracles) — the denominators of the derived
+        // `bgp_observed_speedup` / `provider_peer_speedup` ratios.
+        group.bench_with_input(
+            BenchmarkId::new("bgp_observed_reference", name),
+            &(&clean, rels),
+            |b, (clean, rels)| {
+                b.iter(|| black_box(CustomerCones::bgp_observed_reference(clean, rels, None)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("provider_peer_reference", name),
+            &(&clean, rels),
+            |b, (clean, rels)| {
+                b.iter(|| {
+                    black_box(CustomerCones::provider_peer_observed_reference(clean, rels, None))
+                })
+            },
+        );
+        // Arena construction alone: the one-shot cost the pipeline pays
+        // once and every path-consuming stage then shares.
+        group.bench_with_input(BenchmarkId::new("arena_build", name), &clean, |b, clean| {
+            b.iter(|| black_box(clean.arena()))
+        });
     }
     group.finish();
 }

@@ -25,15 +25,21 @@
 //!    the final assignment: unclassified links are errors (S10
 //!    guarantees total coverage of observed links); Gao-Rexford
 //!    violations are warnings below a fraction threshold, errors above.
+//! 7. **Path-arena well-formedness** — the interned [`PathArena`] built
+//!    from the sanitized paths must satisfy its layout invariants
+//!    (offsets monotone, ids in range, multiplicities ≥ 1, paths sorted
+//!    and actually distinct, inverted index consistent); the valley
+//!    grading reads from the same arena.
 //!
 //! Exposed on the CLI as `asrank audit`; `AuditReport::passed` is the
 //! CI gate (`make audit`).
 
 use crate::cone::CustomerCones;
 use crate::csr::Csr;
+use crate::patharena::PathArena;
 use crate::sanitize::SanitizedPaths;
 use crate::scc;
-use crate::valley::{check_valley_free, ValleyVerdict};
+use crate::valley::grade_arena;
 use asrank_types::prelude::*;
 
 /// How bad a finding is. Ordering is by severity: errors sort first.
@@ -173,12 +179,23 @@ pub fn audit(
     check_cycles(rels, &interner, n, &mut report);
     check_cones(rels, cfg, &mut report);
     match sanitized {
-        Some(s) => check_valley(rels, s, cfg, &mut report),
-        None => report.push(
-            Severity::Info,
-            "valley-free",
-            "skipped (no paths provided)".to_string(),
-        ),
+        Some(s) => {
+            let arena = PathArena::build_with(s, cfg.parallelism);
+            check_arena(&arena, &mut report);
+            check_valley(rels, &arena, cfg, &mut report);
+        }
+        None => {
+            report.push(
+                Severity::Info,
+                "path-arena",
+                "skipped (no paths provided)".to_string(),
+            );
+            report.push(
+                Severity::Info,
+                "valley-free",
+                "skipped (no paths provided)".to_string(),
+            );
+        }
     }
 
     report
@@ -470,41 +487,53 @@ fn check_cones(rels: &RelationshipMap, cfg: &AuditConfig, out: &mut AuditReport)
     }
 }
 
-/// Check 6: grade every distinct sanitized path against the final
-/// relationship assignment.
+/// Check 7: the interned path arena must satisfy every layout
+/// invariant. `pub` so corruption-fixture tests can grade arenas built
+/// via [`PathArena::from_raw`] directly.
+pub fn check_arena(arena: &PathArena, out: &mut AuditReport) {
+    let problems = arena.validate();
+    if problems.is_empty() {
+        out.push(
+            Severity::Info,
+            "path-arena",
+            format!(
+                "{} distinct path(s), {} hop(s) over {} AS(es): offsets monotone, ids in range, multiplicities ≥ 1, paths sorted+distinct, inverted index consistent",
+                arena.len(),
+                arena.total_hops(),
+                arena.num_ases()
+            ),
+        );
+    } else {
+        let shown = problems.len().min(5);
+        out.push(
+            Severity::Error,
+            "path-arena",
+            format!(
+                "{} problem(s); first {shown}: {}",
+                problems.len(),
+                problems[..shown].join("; ")
+            ),
+        );
+    }
+}
+
+/// Check 6: grade every distinct sanitized path (read from the shared
+/// arena) against the final relationship assignment.
 fn check_valley(
     rels: &RelationshipMap,
-    sanitized: &SanitizedPaths,
+    arena: &PathArena,
     cfg: &AuditConfig,
     out: &mut AuditReport,
 ) {
-    let mut paths: Vec<&AsPath> = sanitized.paths().collect();
-    paths.sort_unstable_by(|a, b| a.0.cmp(&b.0));
-    paths.dedup_by(|a, b| a.0 == b.0);
-
-    let total = paths.len();
-    let mut unknown = 0usize;
-    let mut valleys = 0usize;
-    let mut first_unknown: Option<String> = None;
-    let mut first_valley: Option<String> = None;
-    for p in paths {
-        match check_valley_free(p, rels) {
-            ValleyVerdict::ValleyFree => {}
-            ValleyVerdict::UnknownLink { position } => {
-                unknown += 1;
-                if first_unknown.is_none() {
-                    first_unknown = Some(format!("{p} at hop {position}"));
-                }
-            }
-            ValleyVerdict::AscentAfterDescent { position }
-            | ValleyVerdict::SecondPeering { position } => {
-                valleys += 1;
-                if first_valley.is_none() {
-                    first_valley = Some(format!("{p} at hop {position}"));
-                }
-            }
-        }
-    }
+    let stats = grade_arena(arena, rels, cfg.parallelism);
+    let total = stats.total;
+    let (unknown, valleys) = (stats.unknown, stats.valleys);
+    let first_unknown = stats
+        .first_unknown
+        .map(|(p, pos)| format!("{} at hop {pos}", arena.resolve_path(p)));
+    let first_valley = stats
+        .first_valley
+        .map(|(p, pos)| format!("{} at hop {pos}", arena.resolve_path(p)));
 
     if unknown > 0 {
         out.push(

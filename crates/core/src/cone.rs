@@ -38,9 +38,20 @@
 //! pre-optimization HashSet implementation survives as
 //! [`CustomerCones::recursive_reference`] — the property-test oracle and
 //! the benchmark baseline.
+//!
+//! The two path-observed cones run over the shared [`PathArena`] as a
+//! **single deterministic parallel sweep**: worker shards scan
+//! contiguous ranges of the arena's distinct paths once, emit packed
+//! `(cone-root, member)` pairs, and a sort+dedup merge builds the flat
+//! member sets — bit-identical for every thread count. The pre-arena
+//! per-AS-rescan engines survive as
+//! [`CustomerCones::bgp_observed_reference`] /
+//! [`CustomerCones::provider_peer_observed_reference`], the proptest
+//! oracles and benchmark baselines for the recorded speedups.
 
 use crate::csr::Csr;
 use crate::par;
+use crate::patharena::PathArena;
 use crate::sanitize::SanitizedPaths;
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -108,11 +119,25 @@ impl ConeSets {
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
         par: Parallelism,
     ) -> Self {
+        // One shared arena: both observed cones read the same interned,
+        // deduplicated paths instead of re-parsing them independently.
+        let arena = PathArena::build_with(sanitized, par);
+        Self::compute_from_arena(&arena, rels, prefixes, par)
+    }
+
+    /// Compute all three definitions over a prebuilt [`PathArena`]
+    /// (e.g. the one the inference pipeline already constructed).
+    pub fn compute_from_arena(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
         ConeSets {
             recursive: CustomerCones::recursive_with(rels, prefixes, par),
-            bgp_observed: CustomerCones::bgp_observed_with(sanitized, rels, prefixes, par),
-            provider_peer_observed: CustomerCones::provider_peer_observed_with(
-                sanitized, rels, prefixes, par,
+            bgp_observed: CustomerCones::bgp_observed_from_arena(arena, rels, prefixes, par),
+            provider_peer_observed: CustomerCones::provider_peer_observed_from_arena(
+                arena, rels, prefixes, par,
             ),
         }
     }
@@ -434,23 +459,26 @@ impl CustomerCones {
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
         par: Parallelism,
     ) -> Self {
-        let ctx = ObservedContext::build(sanitized, rels);
-        // Scan distinct paths for maximal descending runs; each run puts
-        // everything below the top AS into that AS's cone.
-        let pairs = ctx.collect_pairs(&ctx.c2p, par, |hops, providers, emit| {
-            for start in 0..hops.len().saturating_sub(1) {
-                let mut end = start;
-                while end + 1 < hops.len() && has_edge(providers, hops[end + 1], hops[end]) {
-                    end += 1;
-                }
-                if end > start {
-                    for &below in &hops[start + 1..=end] {
-                        emit(hops[start], below);
-                    }
-                }
-            }
-        });
-        ctx.into_cones(pairs, prefixes, par)
+        let arena = PathArena::build_with(sanitized, par);
+        Self::bgp_observed_from_arena(&arena, rels, prefixes, par)
+    }
+
+    /// [`CustomerCones::bgp_observed`] over a prebuilt [`PathArena`] —
+    /// the single-sweep engine. Worker shards scan contiguous path
+    /// ranges once for maximal descending runs (each run puts everything
+    /// below the top AS into that AS's cone), emit packed (cone-root,
+    /// member) pairs into per-shard buffers, and a sort+dedup merge
+    /// builds the flat member sets — deterministic for every thread
+    /// count.
+    pub fn bgp_observed_from_arena(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        let providers = witness_graph(arena, rels, false);
+        let pairs = sweep_pairs(arena, &providers, par, scan_descents);
+        observed_cones(arena, pairs, prefixes, par)
     }
 
     /// **Provider/peer observed cone**: membership requires `x` to have
@@ -471,20 +499,255 @@ impl CustomerCones {
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
         par: Parallelism,
     ) -> Self {
+        let arena = PathArena::build_with(sanitized, par);
+        Self::provider_peer_observed_from_arena(&arena, rels, prefixes, par)
+    }
+
+    /// [`CustomerCones::provider_peer_observed`] over a prebuilt
+    /// [`PathArena`] — the single-sweep engine (see
+    /// [`CustomerCones::bgp_observed_from_arena`] for the merge
+    /// strategy).
+    pub fn provider_peer_observed_from_arena(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        let graphs = witness_graph(arena, rels, true);
+        let pairs = sweep_pairs(arena, &graphs, par, scan_announcements);
+        observed_cones(arena, pairs, prefixes, par)
+    }
+
+    /// The pre-arena BGP-observed computation: per-call interner build,
+    /// per-path `Vec<u32>` allocation, and lexicographic `Vec<Vec<u32>>`
+    /// sort+dedup — everything [`PathArena`] now amortizes.
+    ///
+    /// Kept as the property-test oracle (the arena sweep must agree on
+    /// every topology) and the baseline the `cones` benchmark measures
+    /// the arena engine against. Do not use it for real workloads.
+    pub fn bgp_observed_reference(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let par = Parallelism::auto();
         let ctx = ObservedContext::build(sanitized, rels);
-        let pairs = ctx.collect_pairs(&ctx.c2p_or_p2p, par, |hops, graphs, emit| {
-            for i in 1..hops.len() {
-                let (x, w) = (hops[i], hops[i - 1]);
-                // w received the route from x; if w is x's provider or
-                // peer, everything beyond x is x's customer cone.
-                if has_edge(graphs, x, w) {
-                    for &below in &hops[i + 1..] {
-                        emit(x, below);
-                    }
-                }
-            }
-        });
+        // Scan distinct paths for maximal descending runs; each run puts
+        // everything below the top AS into that AS's cone.
+        let pairs = ctx.collect_pairs(&ctx.c2p, par, scan_descents);
         ctx.into_cones(pairs, prefixes, par)
+    }
+
+    /// The pre-arena provider/peer-observed computation; see
+    /// [`CustomerCones::bgp_observed_reference`] for why it survives.
+    pub fn provider_peer_observed_reference(
+        sanitized: &SanitizedPaths,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    ) -> Self {
+        let par = Parallelism::auto();
+        let ctx = ObservedContext::build(sanitized, rels);
+        let pairs = ctx.collect_pairs(&ctx.c2p_or_p2p, par, scan_announcements);
+        ctx.into_cones(pairs, prefixes, par)
+    }
+}
+
+/// Position/relationship predicate of the BGP-observed cone: every
+/// maximal descending run `hops[start..=end]` (each step witnessed by a
+/// c2p edge) puts `hops[start+1..=end]` into `hops[start]`'s cone —
+/// for *every* start inside the run, since each suffix of a descent is
+/// itself a witnessed descent.
+///
+/// Each adjacent pair's witness edge is tested exactly once: a start
+/// inside a maximal descending block always extends to the block's end,
+/// so the per-start runs never need their own edge probes.
+fn scan_descents(hops: &[u32], providers: &Csr, emit: &mut dyn FnMut(u32, u32)) {
+    let mut s = 0;
+    while s + 1 < hops.len() {
+        // Maximal descending block starting at s.
+        let mut e = s;
+        while e + 1 < hops.len() && has_edge(providers, hops[e + 1], hops[e]) {
+            e += 1;
+        }
+        if e == s {
+            s += 1;
+            continue;
+        }
+        for start in s..e {
+            for &below in &hops[start + 1..=e] {
+                emit(hops[start], below);
+            }
+        }
+        // The pair (e, e+1) failed the witness test (or e+1 is the path
+        // end), so no descent can start before e + 1.
+        s = e + 1;
+    }
+}
+
+/// Position/relationship predicate of the provider/peer-observed cone:
+/// when `hops[i-1]` is `hops[i]`'s provider or peer, `hops[i]` announced
+/// everything beyond itself — which can only be customer routes.
+fn scan_announcements(hops: &[u32], graphs: &Csr, emit: &mut dyn FnMut(u32, u32)) {
+    for i in 1..hops.len() {
+        let (x, w) = (hops[i], hops[i - 1]);
+        // w received the route from x; if w is x's provider or peer,
+        // everything beyond x is x's customer cone.
+        if has_edge(graphs, x, w) {
+            for &below in &hops[i + 1..] {
+                emit(x, below);
+            }
+        }
+    }
+}
+
+/// Witness edges (`x → w` where `w` is `x`'s provider, optionally also
+/// peers, restricted to path-observed ASes) as a sorted CSR over the
+/// arena's id space.
+fn witness_graph(arena: &PathArena, rels: &RelationshipMap, include_peers: bool) -> Csr {
+    let interner = arena.interner();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (c, p) in rels.c2p_pairs() {
+        if let (Some(ci), Some(pi)) = (interner.get(c), interner.get(p)) {
+            edges.push((ci, pi));
+        }
+    }
+    if include_peers {
+        for (a, b) in rels.p2p_pairs() {
+            if let (Some(ai), Some(bi)) = (interner.get(a), interner.get(b)) {
+                edges.push((ai, bi));
+                edges.push((bi, ai));
+            }
+        }
+    }
+    Csr::from_edges_dedup(interner.len(), &edges)
+}
+
+/// The single parallel sweep: worker shards scan contiguous path ranges
+/// of the arena once, emitting packed `(owner << 32) | member` pairs
+/// into per-shard buffers; the shard buffers concatenate in shard order
+/// and a counting-sort + dedup merge makes the result independent of
+/// both path order and thread count.
+fn sweep_pairs<F>(arena: &PathArena, witness: &Csr, par: Parallelism, scan: F) -> Vec<u64>
+where
+    F: Fn(&[u32], &Csr, &mut dyn FnMut(u32, u32)) + Sync,
+{
+    let per_shard = par::map_ranges(par, 32, arena.len(), |range| {
+        let mut local: Vec<u64> = Vec::new();
+        for p in range {
+            scan(arena.path(p), witness, &mut |owner, member| {
+                local.push((owner as u64) << 32 | member as u64);
+            });
+        }
+        local
+    });
+    let mut pairs: Vec<u64> = per_shard.concat();
+    sort_pairs(&mut pairs, arena.num_ases());
+    pairs.dedup();
+    pairs
+}
+
+/// Sort packed `(owner << 32) | member` pairs ascending via a two-pass
+/// stable counting sort over the dense id space — O(pairs + ids) versus
+/// the O(pairs·log pairs) comparison sort it replaces, and exactly as
+/// deterministic (counting sort has no comparator, let alone an
+/// unstable one).
+fn sort_pairs(pairs: &mut Vec<u64>, n: usize) {
+    // Comparison sort is fine (and allocation-free) for tiny inputs.
+    if pairs.len() <= n || n == 0 {
+        pairs.sort_unstable();
+        return;
+    }
+    let mut tmp: Vec<u64> = vec![0; pairs.len()];
+    let mut counts: Vec<u32> = vec![0; n + 1];
+    // Pass 1: stable bucket by member (low word) into tmp.
+    for &e in pairs.iter() {
+        counts[(e & 0xFFFF_FFFF) as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    for &e in pairs.iter() {
+        let c = &mut counts[(e & 0xFFFF_FFFF) as usize];
+        tmp[*c as usize] = e;
+        *c += 1;
+    }
+    // Pass 2: stable bucket by owner (high word) back into pairs; the
+    // member order within each owner survives from pass 1.
+    counts.clear();
+    counts.resize(n + 1, 0);
+    for &e in tmp.iter() {
+        counts[(e >> 32) as usize + 1] += 1;
+    }
+    for i in 0..n {
+        counts[i + 1] += counts[i];
+    }
+    for &e in tmp.iter() {
+        let c = &mut counts[(e >> 32) as usize];
+        pairs[*c as usize] = e;
+        *c += 1;
+    }
+}
+
+/// Materialize observed cones from sorted `(owner, member)` pairs:
+/// every observed AS gets the trivial cone of itself plus its collected
+/// members (the same final stage as [`ObservedContext::into_cones`],
+/// reading the interner from the shared arena).
+fn observed_cones(
+    arena: &PathArena,
+    pairs: Vec<u64>,
+    prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    par: Parallelism,
+) -> CustomerCones {
+    let interner = arena.interner().clone();
+    let n = interner.len();
+    let weights = PrefixWeights::build(&interner, prefixes);
+
+    // Per-owner slice boundaries in the sorted pair list.
+    let mut starts = vec![0usize; n + 1];
+    {
+        let mut cursor = 0usize;
+        for owner in 0..n as u64 {
+            while cursor < pairs.len() && pairs[cursor] >> 32 < owner {
+                cursor += 1;
+            }
+            starts[owner as usize] = cursor;
+        }
+        starts[n] = pairs.len();
+    }
+
+    let materialized = par::map_ranges(par, 256, n, |range| {
+        let mut chunk = ChunkSets::with_capacity(range.len());
+        for owner in range {
+            let (lo, hi) = (starts[owner], starts[owner + 1]);
+            let before = chunk.members.len();
+            let mut size = ConeSize::default();
+            // Merge the owner itself into its sorted member run.
+            let mut self_pending = true;
+            for &packed in &pairs[lo..hi] {
+                let member = packed as u32;
+                if self_pending && member as usize >= owner {
+                    if member as usize > owner {
+                        chunk.push_member(owner as u32, &interner, &weights, &mut size);
+                    }
+                    self_pending = false;
+                }
+                chunk.push_member(member, &interner, &weights, &mut size);
+            }
+            if self_pending {
+                chunk.push_member(owner as u32, &interner, &weights, &mut size);
+            }
+            chunk.finish_set(before, size);
+        }
+        chunk
+    });
+
+    let (members_flat, bounds, sizes) = ChunkSets::assemble(materialized);
+    CustomerCones {
+        interner,
+        set_of: (0..n as u32).collect(),
+        members_flat,
+        bounds,
+        sizes,
     }
 }
 

@@ -43,6 +43,7 @@ pub mod degree;
 pub mod diff;
 pub mod io;
 pub mod par;
+pub mod patharena;
 pub mod pipeline;
 pub mod rank;
 pub mod sanitize;
@@ -58,9 +59,10 @@ pub use csr::{Adjacency, Csr};
 pub use degree::DegreeTable;
 pub use diff::{diff_relationships, ChangedLink, RelDiff};
 pub use io::{read_as_rel, write_as_rel, AsRelError};
+pub use patharena::PathArena;
 pub use pipeline::{infer, Inference, InferenceConfig, InferenceReport};
 pub use rank::{rank_ases, RankedAs};
 pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport, SanitizedPaths};
 pub use stability::{jackknife, LinkStability, StabilityReport};
-pub use valley::{check_valley_free, valley_free_fraction, ValleyVerdict};
+pub use valley::{check_valley_free, grade_arena, valley_free_fraction, ValleyStats, ValleyVerdict};
 pub use visibility::{LinkVisibility, VisibilityTable};

@@ -1,0 +1,515 @@
+//! The interned path arena — the shared, deduplicated path substrate.
+//!
+//! Every path-consuming stage of the system (S4/S5 top-down inference,
+//! the two path-observed cone definitions, valley-free grading, the
+//! audit) needs the same three things from [`SanitizedPaths`]: the
+//! *distinct* paths, a dense-id encoding of their hops, and — for the
+//! rank-ordered S5 walk — an inverted index from AS to the paths that
+//! contain it. Before this module each consumer rebuilt those views
+//! independently (a `HashSet<&AsPath>` + clone here, an interner +
+//! `Vec<Vec<u32>>` sort there), so the pipeline paid for parsing,
+//! hashing, and deduplicating the same paths several times over.
+//!
+//! [`PathArena`] performs that work exactly once:
+//!
+//! * **Dedup by sort.** Sample indices are sorted by their `Asn` hop
+//!   slices and collapsed into runs; each run becomes one distinct path
+//!   with a **multiplicity** count. Because the bulk [`AsnInterner`]
+//!   assigns ids in ascending ASN order, lexicographic order of id
+//!   slices equals lexicographic order of ASN slices — the arena's path
+//!   order is *identical* to the old `sort_by(|a, b| a.0.cmp(&b.0))`
+//!   over cloned `AsPath`s, so downstream traversal order (and hence
+//!   every inference) is bit-for-bit unchanged.
+//! * **CSR flattening.** Distinct paths live in one `offsets`/`ids`
+//!   arena of dense `u32` ids: path `p` is `ids[offsets[p]..offsets[p+1]]`.
+//!   No per-path heap allocation survives the build.
+//! * **Inverted index.** A counting sort over the flat `ids` produces,
+//!   for every dense id, the `(path, position)` occurrences packed into
+//!   one `u64` each — ascending by path then position, matching the
+//!   insertion order of the hash-map index it replaces.
+//!
+//! The id-mapping pass fans out over worker threads ([`crate::par`]) in
+//! contiguous path ranges reassembled in range order, so the arena is
+//! bit-identical for every thread count.
+
+use crate::par;
+use crate::sanitize::SanitizedPaths;
+use asrank_types::prelude::*;
+
+/// Deduplicated, interned, CSR-flattened view of a sanitized path set.
+///
+/// See the [module docs](self) for the layout. Construct with
+/// [`PathArena::build`] / [`PathArena::build_with`] (or
+/// [`PathArena::from_raw`] for audit fixtures), then hand shared
+/// references to every consumer — the arena is immutable.
+#[derive(Debug, Clone, Default)]
+pub struct PathArena {
+    /// Dense ids over every AS appearing in a distinct path; ids ascend
+    /// with ASN.
+    interner: AsnInterner,
+    /// Path `p` spans `ids[offsets[p] as usize..offsets[p + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// Hop ids of all distinct paths, concatenated in sorted path order.
+    ids: Vec<u32>,
+    /// Number of sanitized samples collapsed into each distinct path
+    /// (≥ 1): the evidence weight dedup would otherwise discard.
+    multiplicity: Vec<u32>,
+    /// Occurrences of id `a` span
+    /// `inv_entries[inv_offsets[a]..inv_offsets[a + 1]]`.
+    inv_offsets: Vec<u32>,
+    /// `(path << 32) | position`, ascending within each id's span.
+    inv_entries: Vec<u64>,
+}
+
+impl PathArena {
+    /// Build the arena from sanitized paths with the default thread
+    /// budget.
+    pub fn build(sanitized: &SanitizedPaths) -> Self {
+        Self::build_with(sanitized, Parallelism::auto())
+    }
+
+    /// [`PathArena::build`] with an explicit thread budget. The result
+    /// is bit-identical for every `par` value.
+    pub fn build_with(sanitized: &SanitizedPaths, par: Parallelism) -> Self {
+        let samples = &sanitized.samples;
+
+        // Flatten every sample's raw hops into one contiguous buffer so
+        // the dedup sort compares cache-local u32 slices instead of
+        // chasing pointers into per-sample `Vec<Asn>` allocations.
+        let total_raw: usize = samples.iter().map(|s| s.path.len()).sum();
+        let mut tmp_offsets: Vec<u32> = Vec::with_capacity(samples.len() + 1);
+        tmp_offsets.push(0);
+        let mut tmp_hops: Vec<u32> = Vec::with_capacity(total_raw);
+        for s in samples {
+            tmp_hops.extend(s.path.iter().map(|a| a.0));
+            tmp_offsets.push(dense_id(tmp_hops.len()));
+        }
+        let hops_of = |i: u32| {
+            &tmp_hops[tmp_offsets[i as usize] as usize..tmp_offsets[i as usize + 1] as usize]
+        };
+
+        // Sort sample indices by hop content; equal runs collapse into
+        // one distinct path with a multiplicity count. A packed
+        // (hop0, hop1) prefix key resolves almost every comparison in
+        // registers — sanitized paths have ≥ 2 hops, and packed-u64
+        // order equals lexicographic (hop0, hop1) order. sort_unstable
+        // is deterministic (pattern-defeating quicksort, no randomness);
+        // fully equal keys reference identical hop slices, so which
+        // sample represents a run cannot matter.
+        let prefix_key = |h: &[u32]| -> u64 {
+            let h0 = h.first().copied().unwrap_or(0) as u64;
+            let h1 = h.get(1).copied().unwrap_or(0) as u64;
+            h0 << 32 | h1
+        };
+        let mut order: Vec<(u64, u32)> = (0..dense_id(samples.len()))
+            .map(|i| (prefix_key(hops_of(i)), i))
+            .collect();
+        order.sort_unstable_by(|a, b| {
+            a.0.cmp(&b.0).then_with(|| hops_of(a.1).cmp(hops_of(b.1)))
+        });
+
+        let mut reps: Vec<u32> = Vec::new();
+        let mut multiplicity: Vec<u32> = Vec::new();
+        for &(_, si) in &order {
+            match reps.last() {
+                Some(&r) if hops_of(r) == hops_of(si) => {
+                    if let Some(m) = multiplicity.last_mut() {
+                        *m += 1;
+                    }
+                }
+                _ => {
+                    reps.push(si);
+                    multiplicity.push(1);
+                }
+            }
+        }
+
+        // Ids ascend with ASN (bulk interner) — the property the whole
+        // determinism story above rests on.
+        let interner = AsnInterner::from_ases(
+            reps.iter()
+                .flat_map(|&si| hops_of(si).iter().map(|&v| Asn(v))),
+        );
+
+        let mut offsets: Vec<u32> = Vec::with_capacity(reps.len() + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        for &si in &reps {
+            total += hops_of(si).len();
+            offsets.push(dense_id(total));
+        }
+
+        // Map hops to dense ids over contiguous path ranges in parallel,
+        // reassembled in range order.
+        let chunks = par::map_ranges(par, 256, reps.len(), |range| {
+            let span = (offsets[range.end] - offsets[range.start]) as usize;
+            let mut buf: Vec<u32> = Vec::with_capacity(span);
+            for d in range {
+                for &v in hops_of(reps[d]) {
+                    // lint: allow(panics, interner seeded from these same distinct paths covers every hop)
+                    buf.push(interner.get(Asn(v)).expect("interned"));
+                }
+            }
+            buf
+        });
+        let ids = chunks.concat();
+
+        let (inv_offsets, inv_entries) = invert(&offsets, &ids, interner.len());
+        PathArena {
+            interner,
+            offsets,
+            ids,
+            multiplicity,
+            inv_offsets,
+            inv_entries,
+        }
+    }
+
+    /// Assemble an arena from raw parts **without** establishing the
+    /// invariants — the corruption-fixture entry point for the audit
+    /// tests. The inverted index is built only when the base invariants
+    /// hold (a corrupt arena keeps an empty index so [`PathArena::validate`]
+    /// can report the underlying problems instead of panicking).
+    pub fn from_raw(
+        interner: AsnInterner,
+        offsets: Vec<u32>,
+        ids: Vec<u32>,
+        multiplicity: Vec<u32>,
+    ) -> Self {
+        let mut arena = PathArena {
+            interner,
+            offsets,
+            ids,
+            multiplicity,
+            inv_offsets: Vec::new(),
+            inv_entries: Vec::new(),
+        };
+        if arena.base_problems().is_empty() {
+            let (io, ie) = invert(&arena.offsets, &arena.ids, arena.interner.len());
+            arena.inv_offsets = io;
+            arena.inv_entries = ie;
+        }
+        arena
+    }
+
+    /// Number of distinct paths.
+    pub fn len(&self) -> usize {
+        self.multiplicity.len()
+    }
+
+    /// True when the arena holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.multiplicity.is_empty()
+    }
+
+    /// Total hops across all distinct paths.
+    pub fn total_hops(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Number of distinct ASes appearing in the paths.
+    pub fn num_ases(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The dense-id interner (ids ascend with ASN).
+    pub fn interner(&self) -> &AsnInterner {
+        &self.interner
+    }
+
+    /// Hop ids of distinct path `p` (VP first, origin last).
+    pub fn path(&self, p: usize) -> &[u32] {
+        &self.ids[self.offsets[p] as usize..self.offsets[p + 1] as usize]
+    }
+
+    /// How many sanitized samples collapsed into distinct path `p`.
+    pub fn multiplicity(&self, p: usize) -> u32 {
+        self.multiplicity[p]
+    }
+
+    /// The raw CSR offsets (`len() + 1` entries, monotone).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat hop-id array.
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Occurrences of dense id `a` as `(path, position)` pairs,
+    /// ascending by path then position. `a` must be `< num_ases()`.
+    pub fn occurrences(&self, a: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.inv_offsets[a as usize] as usize;
+        let hi = self.inv_offsets[a as usize + 1] as usize;
+        self.inv_entries[lo..hi]
+            .iter()
+            .map(|&e| ((e >> 32) as u32, e as u32))
+    }
+
+    /// Resolve distinct path `p` back to an [`AsPath`].
+    pub fn resolve_path(&self, p: usize) -> AsPath {
+        AsPath(self.path(p).iter().map(|&id| self.interner.resolve(id)).collect())
+    }
+
+    /// All distinct paths as owned [`AsPath`]s, in arena (ASN-lexicographic)
+    /// order — the exact set and order the pipeline's old
+    /// `HashSet<&AsPath>` + clone + sort produced.
+    pub fn distinct_aspaths(&self) -> Vec<AsPath> {
+        (0..self.len()).map(|p| self.resolve_path(p)).collect()
+    }
+
+    /// Violations of the base layout invariants: offsets monotone and
+    /// terminated by `ids.len()`, every id in range, every multiplicity
+    /// ≥ 1, and paths strictly ascending (sorted + actually distinct).
+    fn base_problems(&self) -> Vec<String> {
+        let mut problems: Vec<String> = Vec::new();
+        let np = self.multiplicity.len();
+        if self.offsets.len() != np + 1 {
+            problems.push(format!(
+                "offsets has {} entries for {np} path(s); expected {}",
+                self.offsets.len(),
+                np + 1
+            ));
+            return problems; // layout unusable; nothing below is safe
+        }
+        if self.offsets.first() != Some(&0) {
+            problems.push("offsets does not start at 0".to_string());
+        }
+        if let Some(w) = self
+            .offsets
+            .windows(2)
+            .position(|w| w[0] >= w[1])
+        {
+            problems.push(format!(
+                "offsets not strictly increasing at path {w} ({} → {}); every sanitized path has ≥ 2 hops",
+                self.offsets[w],
+                self.offsets[w + 1]
+            ));
+            return problems;
+        }
+        if self.offsets.last().copied().unwrap_or(0) as usize != self.ids.len() {
+            problems.push(format!(
+                "offsets end at {} but ids has {} entries",
+                self.offsets.last().copied().unwrap_or(0),
+                self.ids.len()
+            ));
+            return problems;
+        }
+        let n = self.interner.len();
+        for (i, &id) in self.ids.iter().enumerate() {
+            if id as usize >= n {
+                problems.push(format!("ids[{i}] = {id} out of range for {n} interned AS(es)"));
+                break;
+            }
+        }
+        if let Some(p) = self.multiplicity.iter().position(|&m| m == 0) {
+            problems.push(format!("multiplicity[{p}] = 0; every distinct path collapses ≥ 1 sample"));
+        }
+        for p in 1..np {
+            if self.path(p - 1) >= self.path(p) {
+                problems.push(format!(
+                    "paths {} and {p} not strictly ascending — arena not sorted or not deduplicated",
+                    p - 1
+                ));
+                break;
+            }
+        }
+        problems
+    }
+
+    /// Check every arena invariant, returning human-readable violations
+    /// (empty = well-formed). Beyond the base layout checks this also
+    /// verifies the inverted index: correct span totals and every
+    /// `(path, position)` entry mapping back to its id.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = self.base_problems();
+        if !problems.is_empty() {
+            return problems;
+        }
+        let n = self.interner.len();
+        if self.inv_offsets.len() != n + 1 || self.inv_entries.len() != self.ids.len() {
+            problems.push(format!(
+                "inverted index shape mismatch: {} offset(s) / {} entr(ies) for {n} AS(es) / {} hop(s)",
+                self.inv_offsets.len(),
+                self.inv_entries.len(),
+                self.ids.len()
+            ));
+            return problems;
+        }
+        for a in 0..n {
+            let (lo, hi) = (self.inv_offsets[a] as usize, self.inv_offsets[a + 1] as usize);
+            if lo > hi || hi > self.inv_entries.len() {
+                problems.push(format!("inverted index span of id {a} is malformed ({lo}..{hi})"));
+                return problems;
+            }
+            for &e in &self.inv_entries[lo..hi] {
+                let (p, pos) = ((e >> 32) as usize, e as u32 as usize);
+                if p >= self.len() || pos >= self.path(p).len() || self.path(p)[pos] as usize != a {
+                    problems.push(format!(
+                        "inverted index entry (path {p}, pos {pos}) of id {a} does not map back"
+                    ));
+                    return problems;
+                }
+            }
+        }
+        problems
+    }
+}
+
+/// Counting-sort inversion of the flat hop array: for every dense id,
+/// the packed `(path << 32) | position` occurrences, ascending.
+fn invert(offsets: &[u32], ids: &[u32], n: usize) -> (Vec<u32>, Vec<u64>) {
+    let mut inv_offsets = vec![0u32; n + 1];
+    for &id in ids {
+        inv_offsets[id as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        inv_offsets[i] += inv_offsets[i - 1];
+    }
+    let mut cursor: Vec<u32> = inv_offsets[..n].to_vec();
+    let mut entries = vec![0u64; ids.len()];
+    for p in 0..offsets.len().saturating_sub(1) {
+        let (lo, hi) = (offsets[p] as usize, offsets[p + 1] as usize);
+        for (pos, &id) in ids[lo..hi].iter().enumerate() {
+            let slot = cursor[id as usize];
+            entries[slot as usize] = ((p as u64) << 32) | pos as u64;
+            cursor[id as usize] = slot + 1;
+        }
+    }
+    (inv_offsets, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sanitize::{sanitize, SanitizeConfig};
+    use std::collections::HashSet;
+
+    fn sanitized(raw: &[&[u32]]) -> SanitizedPaths {
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        sanitize(&ps, &SanitizeConfig::default())
+    }
+
+    #[test]
+    fn dedup_matches_hashset_distinct_sort() {
+        // Satellite 1 pin: arena dedup order == old HashSet + clone +
+        // sort_by(path.0) order, multiplicities counted.
+        let raw: Vec<&[u32]> = vec![
+            &[9, 1, 5, 7],
+            &[9, 1, 5, 7], // duplicate
+            &[8, 1, 5],
+            &[9, 2, 5, 7],
+            &[8, 1, 5], // duplicate
+            &[7, 2, 1],
+        ];
+        let clean = sanitized(&raw);
+        let arena = PathArena::build(&clean);
+
+        let mut old: Vec<AsPath> = {
+            let set: HashSet<&AsPath> = clean.paths().collect();
+            set.into_iter().cloned().collect()
+        };
+        old.sort_by(|a, b| a.0.cmp(&b.0));
+
+        assert_eq!(arena.distinct_aspaths(), old);
+        assert_eq!(arena.len(), 4);
+        let mults: Vec<u32> = (0..arena.len()).map(|p| arena.multiplicity(p)).collect();
+        assert_eq!(mults.iter().sum::<u32>() as usize, clean.samples.len());
+        assert!(mults.iter().filter(|&&m| m == 2).count() == 2);
+    }
+
+    #[test]
+    fn inverted_index_is_complete_and_ordered() {
+        let clean = sanitized(&[&[9, 1, 5, 7], &[8, 1, 5], &[7, 2, 1]]);
+        let arena = PathArena::build(&clean);
+        assert!(arena.validate().is_empty(), "{:?}", arena.validate());
+        let mut seen = 0usize;
+        for a in 0..dense_id(arena.num_ases()) {
+            let occ: Vec<(u32, u32)> = arena.occurrences(a).collect();
+            // Ascending by (path, position).
+            assert!(occ.windows(2).all(|w| w[0] < w[1]), "id {a}: {occ:?}");
+            for &(p, pos) in &occ {
+                assert_eq!(arena.path(p as usize)[pos as usize], a);
+            }
+            seen += occ.len();
+        }
+        assert_eq!(seen, arena.total_hops());
+    }
+
+    #[test]
+    fn build_is_thread_count_invariant() {
+        let raw: Vec<Vec<u32>> = (0..120)
+            .map(|i| vec![900 + i % 7, 50 + i % 11, 20 + i % 5, 10 + i % 3, 1])
+            .collect();
+        let refs: Vec<&[u32]> = raw.iter().map(Vec::as_slice).collect();
+        let clean = sanitized(&refs);
+        let seq = PathArena::build_with(&clean, Parallelism::sequential());
+        let par = PathArena::build_with(&clean, Parallelism::threads(4));
+        assert_eq!(seq.offsets, par.offsets);
+        assert_eq!(seq.ids, par.ids);
+        assert_eq!(seq.multiplicity, par.multiplicity);
+        assert_eq!(seq.inv_offsets, par.inv_offsets);
+        assert_eq!(seq.inv_entries, par.inv_entries);
+    }
+
+    #[test]
+    fn validate_catches_corruption() {
+        let clean = sanitized(&[&[9, 1, 5], &[8, 1, 5]]);
+        let good = PathArena::build(&clean);
+        assert!(good.validate().is_empty());
+
+        // Non-monotone offsets.
+        let bad = PathArena::from_raw(
+            good.interner.clone(),
+            vec![0, 3, 2],
+            good.ids.clone(),
+            good.multiplicity.clone(),
+        );
+        assert!(bad.validate().iter().any(|p| p.contains("strictly increasing")));
+
+        // Out-of-range id.
+        let mut ids = good.ids.clone();
+        ids[0] = 999;
+        let bad = PathArena::from_raw(
+            good.interner.clone(),
+            good.offsets.clone(),
+            ids,
+            good.multiplicity.clone(),
+        );
+        assert!(bad.validate().iter().any(|p| p.contains("out of range")));
+
+        // Zero multiplicity.
+        let bad = PathArena::from_raw(
+            good.interner.clone(),
+            good.offsets.clone(),
+            good.ids.clone(),
+            vec![1, 0],
+        );
+        assert!(bad.validate().iter().any(|p| p.contains("multiplicity")));
+
+        // Duplicate (non-distinct) paths.
+        let dup_ids: Vec<u32> = [good.path(0), good.path(0)].concat();
+        let dup_off = vec![0, dense_id(good.path(0).len()), dense_id(dup_ids.len())];
+        let bad = PathArena::from_raw(good.interner.clone(), dup_off, dup_ids, vec![1, 1]);
+        assert!(bad.validate().iter().any(|p| p.contains("ascending")));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_arena() {
+        let clean = sanitized(&[]);
+        let arena = PathArena::build(&clean);
+        assert!(arena.is_empty());
+        assert_eq!(arena.offsets(), &[0]);
+        assert!(arena.validate().is_empty());
+        assert!(arena.distinct_aspaths().is_empty());
+    }
+}

@@ -9,6 +9,7 @@ pub mod steps;
 
 use crate::clique::{infer_clique, CliqueConfig};
 use crate::degree::DegreeTable;
+use crate::patharena::PathArena;
 use crate::sanitize::{sanitize_with, SanitizeConfig, SanitizeReport};
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -160,8 +161,12 @@ pub fn infer(paths: &PathSet, cfg: &InferenceConfig) -> Inference {
     // S3: clique.
     let clique = infer_clique(&sanitized, &degrees, &cfg.clique);
 
+    // Interned path arena: paths are parsed, deduplicated, and indexed
+    // exactly once; S4–S10 share this view.
+    let arena = PathArena::build_with(&sanitized, cfg.parallelism);
+
     // S4–S10.
-    let relationships = steps::run(&sanitized, &degrees, &clique, cfg, &mut report);
+    let relationships = steps::run(&arena, &sanitized, &degrees, &clique, cfg, &mut report);
 
     report.total_links = relationships.len();
     Inference {

@@ -3,15 +3,26 @@
 //! Each step is a standalone function taking the working
 //! [`RelationshipMap`] so tests can exercise them in isolation; [`run`]
 //! executes them in paper order.
+//!
+//! [`run`] operates over the shared [`PathArena`]: distinct paths (the
+//! old `HashSet<&AsPath>` + clone + sort), the S5 occurrence index (the
+//! old per-run `HashMap<Asn, Vec<(u32, u32)>>`), and the observed link
+//! list S8/S10 both need are all read from the arena the pipeline built
+//! exactly once. The path-slice step functions remain `pub` — they are
+//! the unit-testable definitions the arena versions must (and are
+//! tested to) agree with.
 
 use super::{InferenceConfig, InferenceReport};
 use crate::degree::DegreeTable;
+use crate::patharena::PathArena;
 use crate::sanitize::SanitizedPaths;
 use asrank_types::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-/// Execute S4–S11 and return the final relationship map.
+/// Execute S4–S11 over the shared path arena and return the final
+/// relationship map.
 pub fn run(
+    arena: &PathArena,
     sanitized: &SanitizedPaths,
     degrees: &DegreeTable,
     clique: &[Asn],
@@ -19,21 +30,33 @@ pub fn run(
     report: &mut InferenceReport,
 ) -> RelationshipMap {
     let clique_set: HashSet<Asn> = clique.iter().copied().collect();
+    let interner = arena.interner();
 
-    // Distinct paths only: multiplicity (one sample per prefix) adds no
-    // relationship evidence and would inflate the S5 index.
-    let mut distinct: Vec<AsPath> = {
-        let set: HashSet<&AsPath> = sanitized.paths().collect();
-        set.into_iter().cloned().collect()
-    };
-    distinct.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic order
+    // Dense clique mask over the arena's id space (clique members that
+    // appear in no path can never match a hop, so dropping them from
+    // the mask is exact).
+    let mut clique_mask = vec![false; interner.len()];
+    for &a in clique {
+        if let Some(id) = interner.get(a) {
+            clique_mask[id as usize] = true;
+        }
+    }
 
-    // S4: discard poisoned paths.
-    let paths = if cfg.ablation.no_poison_filter {
-        distinct
-    } else {
-        discard_poisoned(distinct, &clique_set, report)
-    };
+    // S4: discard poisoned paths — a kept-mask over the arena's
+    // distinct paths instead of materializing a filtered Vec<AsPath>.
+    // (Distinct paths only: multiplicity — one sample per prefix — adds
+    // no relationship evidence and would inflate the S5 index.)
+    let mut kept = vec![true; arena.len()];
+    if !cfg.ablation.no_poison_filter {
+        let mut discarded = 0usize;
+        for (p, keep) in kept.iter_mut().enumerate() {
+            if is_poisoned_ids(arena.path(p), &clique_mask) {
+                *keep = false;
+                discarded += 1;
+            }
+        }
+        report.discarded_poisoned = discarded;
+    }
 
     let mut rels = RelationshipMap::new();
 
@@ -44,8 +67,8 @@ pub fn run(
         }
     }
 
-    // S5: top-down c2p inference.
-    infer_topdown(&paths, degrees, &clique_set, &mut rels, report);
+    // S5: top-down c2p inference via the arena's inverted index.
+    infer_topdown_arena(arena, &kept, degrees, &clique_mask, &mut rels, report);
 
     // S6: VP-side providers.
     if !cfg.ablation.no_vp_step {
@@ -57,18 +80,21 @@ pub fn run(
         repair_anomalies(degrees, cfg, &mut rels, report);
     }
 
+    // Observed links of the kept paths, computed once for S8 and S10.
+    let links = observed_links_arena(arena, &kept);
+
     // S8: stub-to-clique.
     if !cfg.ablation.no_stub_clique {
-        infer_stub_clique(&paths, degrees, &clique_set, &mut rels, report);
+        stub_clique_over(&links, degrees, &clique_set, &mut rels, report);
     }
 
     // S9: providers for provider-less transit ASes.
     if !cfg.ablation.no_providerless {
-        infer_providerless(&paths, degrees, &clique_set, &mut rels, report);
+        infer_providerless_arena(arena, &kept, degrees, &clique_set, &mut rels, report);
     }
 
     // S10: the rest is p2p.
-    assign_remaining_p2p(&paths, &mut rels, report);
+    remaining_p2p_over(&links, &mut rels, report);
 
     // S11: audit.
     report.cycle_links = audit_cycles(&rels);
@@ -99,6 +125,25 @@ fn is_poisoned(path: &AsPath, clique_set: &HashSet<Asn>) -> bool {
     let mut gap_since_clique = false;
     for asn in path.iter() {
         if clique_set.contains(&asn) {
+            if seen_clique && gap_since_clique {
+                return true;
+            }
+            seen_clique = true;
+            gap_since_clique = false;
+        } else if seen_clique {
+            gap_since_clique = true;
+        }
+    }
+    false
+}
+
+/// [`is_poisoned`] over dense-id hops with a clique bitmask — the same
+/// clique / gap / clique scan, minus the hash probe per hop.
+fn is_poisoned_ids(hops: &[u32], clique_mask: &[bool]) -> bool {
+    let mut seen_clique = false;
+    let mut gap_since_clique = false;
+    for &id in hops {
+        if clique_mask[id as usize] {
             if seen_clique && gap_since_clique {
                 return true;
             }
@@ -177,6 +222,65 @@ pub fn infer_topdown(
             }
         }
         visited.insert(z);
+    }
+}
+
+/// [`infer_topdown`] over the arena's prebuilt inverted index: the
+/// occurrence list of each ranked AS comes straight from the arena
+/// (ascending by path then position — the exact order the hash-map
+/// index yielded), `kept` masks out S4-discarded paths, and the visited
+/// set is a dense bitmask instead of a hashed `Asn` set. Agreement with
+/// the path-slice definition is pinned by unit test.
+fn infer_topdown_arena(
+    arena: &PathArena,
+    kept: &[bool],
+    degrees: &DegreeTable,
+    clique_mask: &[bool],
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    let interner = arena.interner();
+    let mut visited = clique_mask.to_vec();
+
+    for &z in degrees.ranked() {
+        // Every ranked AS appears in a sanitized path, hence in the
+        // arena; skip defensively rather than panic (L002).
+        let Some(zid) = interner.get(z) else { continue };
+        for (pi, pos) in arena.occurrences(zid) {
+            if !kept[pi as usize] {
+                continue;
+            }
+            let hops = arena.path(pi as usize);
+            let i = pos as usize;
+            // Evidence requires a higher-ranked AS on the VP side of z
+            // and an unvisited (lower-ranked) AS on the origin side.
+            if i == 0 || i + 1 >= hops.len() {
+                continue;
+            }
+            if !visited[hops[i - 1] as usize] || hops[i - 1] == zid {
+                continue;
+            }
+            if visited[hops[i + 1] as usize] {
+                continue;
+            }
+            // Walk the customer chain toward the origin.
+            for j in i..hops.len() - 1 {
+                let provider = interner.resolve(hops[j]);
+                let customer = interner.resolve(hops[j + 1]);
+                match rels.orientation(customer, provider) {
+                    None => {
+                        rels.insert_c2p(customer, provider);
+                        report.c2p_from_topdown += 1;
+                    }
+                    Some(Orientation::Provider) => {} // agrees; keep walking
+                    Some(_) => {
+                        report.conflicts += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        visited[zid as usize] = true;
     }
 }
 
@@ -270,7 +374,19 @@ pub fn infer_stub_clique(
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    for link in observed_links(paths) {
+    stub_clique_over(&observed_links(paths), degrees, clique_set, rels, report);
+}
+
+/// [`infer_stub_clique`] over a precomputed sorted link list (shared
+/// with S10 when running from the arena).
+fn stub_clique_over(
+    links: &[AsLink],
+    degrees: &DegreeTable,
+    clique_set: &HashSet<Asn>,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    for link in links {
         if rels.get(link.a, link.b).is_some() {
             continue;
         }
@@ -337,6 +453,100 @@ pub fn infer_providerless(
     }
 }
 
+/// [`infer_providerless`] over the arena: the nested
+/// `HashMap<Asn, HashMap<Asn, usize>>` frequency table becomes one
+/// sorted packed-pair list run-length-encoded into per-source
+/// `(neighbor, count)` runs. Neighbors iterate in ascending id (==
+/// ascending ASN) order, so keeping the strictly-greatest count
+/// reproduces the old "max count, ties to lowest ASN" sort exactly.
+/// Agreement with the path-slice definition is pinned by unit test.
+fn infer_providerless_arena(
+    arena: &PathArena,
+    kept: &[bool],
+    degrees: &DegreeTable,
+    clique_set: &HashSet<Asn>,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    let interner = arena.interner();
+    let n = interner.len();
+
+    // Directed adjacency occurrences of kept paths, both directions:
+    // (source << 32) | neighbor, one entry per adjacency per path.
+    let mut packed: Vec<u64> = Vec::with_capacity(2 * arena.total_hops());
+    for p in 0..arena.len() {
+        if !kept[p] {
+            continue;
+        }
+        for w in arena.path(p).windows(2) {
+            packed.push((w[0] as u64) << 32 | w[1] as u64);
+            packed.push((w[1] as u64) << 32 | w[0] as u64);
+        }
+    }
+    packed.sort_unstable();
+
+    // Run-length encode into per-source neighbor/count runs.
+    let mut nbrs: Vec<u32> = Vec::new();
+    let mut cnts: Vec<u32> = Vec::new();
+    let mut run_offsets = vec![0u32; n + 1];
+    let mut i = 0usize;
+    while i < packed.len() {
+        let v = packed[i];
+        let mut j = i + 1;
+        while j < packed.len() && packed[j] == v {
+            j += 1;
+        }
+        nbrs.push(v as u32);
+        cnts.push(dense_id(j - i));
+        run_offsets[(v >> 32) as usize + 1] += 1;
+        i = j;
+    }
+    for s in 1..=n {
+        run_offsets[s] += run_offsets[s - 1];
+    }
+
+    // Visit from the bottom of the hierarchy upward: small ASes have the
+    // clearest upstream signal.
+    for &z in degrees.ranked().iter().rev() {
+        if clique_set.contains(&z) || degrees.transit_degree(z) == 0 {
+            continue;
+        }
+        let Some(zid) = interner.get(z) else { continue };
+        let (lo, hi) = (
+            run_offsets[zid as usize] as usize,
+            run_offsets[zid as usize + 1] as usize,
+        );
+        if lo == hi {
+            continue;
+        }
+        if nbrs[lo..hi]
+            .iter()
+            .any(|&w| rels.orientation(z, interner.resolve(w)) == Some(Orientation::Provider))
+        {
+            continue;
+        }
+        // Most frequent higher-ranked neighbor with an unclassified link.
+        let tz = degrees.transit_degree(z);
+        let mut best: Option<(Asn, u32)> = None;
+        for k in lo..hi {
+            let w = interner.resolve(nbrs[k]);
+            if rels.get(z, w).is_none() && degrees.transit_degree(w) > tz {
+                let better = match best {
+                    None => true,
+                    Some((_, c)) => cnts[k] > c,
+                };
+                if better {
+                    best = Some((w, cnts[k]));
+                }
+            }
+        }
+        if let Some((w, _)) = best {
+            rels.insert_c2p(z, w);
+            report.c2p_providerless += 1;
+        }
+    }
+}
+
 /// S10 — every observed link not yet classified is p2p. Peering links are
 /// exactly the ones that never show up in a descent (peers export only
 /// customer routes to each other), so this default captures them.
@@ -345,7 +555,12 @@ pub fn assign_remaining_p2p(
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    for link in observed_links(paths) {
+    remaining_p2p_over(&observed_links(paths), rels, report);
+}
+
+/// [`assign_remaining_p2p`] over a precomputed sorted link list.
+fn remaining_p2p_over(links: &[AsLink], rels: &mut RelationshipMap, report: &mut InferenceReport) {
+    for link in links {
         if rels.get(link.a, link.b).is_none() {
             rels.insert_p2p(link.a, link.b);
             report.p2p_assigned += 1;
@@ -396,6 +611,30 @@ fn observed_links(paths: &[AsPath]) -> Vec<AsLink> {
     let mut v: Vec<AsLink> = set.into_iter().collect();
     v.sort();
     v
+}
+
+/// [`observed_links`] over the arena's kept paths: canonical packed
+/// (min, max) id pairs, sort + dedup. Ids ascend with ASN, so the
+/// resolved list comes out in the same `AsLink` order the hashed
+/// version sorted into.
+fn observed_links_arena(arena: &PathArena, kept: &[bool]) -> Vec<AsLink> {
+    let interner = arena.interner();
+    let mut packed: Vec<u64> = Vec::with_capacity(arena.total_hops());
+    for p in 0..arena.len() {
+        if !kept[p] {
+            continue;
+        }
+        for w in arena.path(p).windows(2) {
+            let (lo, hi) = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+            packed.push((lo as u64) << 32 | hi as u64);
+        }
+    }
+    packed.sort_unstable();
+    packed.dedup();
+    packed
+        .iter()
+        .map(|&e| AsLink::new(interner.resolve((e >> 32) as u32), interner.resolve(e as u32)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -615,5 +854,91 @@ mod tests {
         assert!(rels.is_c2p(Asn(100), Asn(5)), "80% share ⇒ provider");
         assert_eq!(rels.get(Asn(100), Asn(6)), None, "20% share ⇒ unknown");
         assert_eq!(report.c2p_from_vps, 1);
+    }
+
+    fn sanitized_for(raw: &[&[u32]]) -> SanitizedPaths {
+        use crate::sanitize::{sanitize, SanitizeConfig};
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        sanitize(&ps, &SanitizeConfig::default())
+    }
+
+    /// Pin: the arena-driven S4/S5/S9/S10 step implementations produce
+    /// the exact relationship map and report counters of the retained
+    /// path-slice definitions on a fixture with duplicates, a poisoned
+    /// path, and a provider-less transit AS.
+    #[test]
+    fn arena_steps_agree_with_path_slice_steps() {
+        let raw: Vec<&[u32]> = vec![
+            &[9, 2, 1, 5, 7],
+            &[9, 1, 5, 7],
+            &[9, 1, 5, 7], // duplicate: multiplicity must not change inference
+            &[8, 2, 6, 11],
+            &[9, 1, 6, 11, 12],
+            &[7, 5, 3, 4],
+            &[9, 1, 7, 2, 8], // poisoned: non-clique 7 between clique 1 and 2
+            &[10, 5, 7],
+        ];
+        let sanitized = sanitized_for(&raw);
+        let degrees = DegreeTable::compute(&sanitized);
+        let clique: HashSet<Asn> = [Asn(1), Asn(2)].into_iter().collect();
+        let arena = sanitized.arena();
+
+        // Reference: the pre-arena sequence — hash-dedup distinct paths,
+        // sort, poison-filter, then the path-slice step functions.
+        let distinct: Vec<AsPath> = {
+            let set: HashSet<&AsPath> = sanitized.paths().collect();
+            let mut v: Vec<AsPath> = set.into_iter().cloned().collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut report_old = InferenceReport::default();
+        let kept_paths = discard_poisoned(distinct, &clique, &mut report_old);
+        let mut rels_old = RelationshipMap::new();
+        rels_old.insert_p2p(Asn(1), Asn(2));
+        infer_topdown(&kept_paths, &degrees, &clique, &mut rels_old, &mut report_old);
+        infer_providerless(&kept_paths, &degrees, &clique, &mut rels_old, &mut report_old);
+        assign_remaining_p2p(&kept_paths, &mut rels_old, &mut report_old);
+
+        // Arena-driven versions of the same steps.
+        let interner = arena.interner();
+        let mut clique_mask = vec![false; interner.len()];
+        for &a in &clique {
+            if let Some(id) = interner.get(a) {
+                clique_mask[id as usize] = true;
+            }
+        }
+        let mut report_new = InferenceReport::default();
+        let mut kept = vec![true; arena.len()];
+        let mut discarded = 0usize;
+        for (p, keep) in kept.iter_mut().enumerate() {
+            if is_poisoned_ids(arena.path(p), &clique_mask) {
+                *keep = false;
+                discarded += 1;
+            }
+        }
+        report_new.discarded_poisoned = discarded;
+        let mut rels_new = RelationshipMap::new();
+        rels_new.insert_p2p(Asn(1), Asn(2));
+        infer_topdown_arena(&arena, &kept, &degrees, &clique_mask, &mut rels_new, &mut report_new);
+        infer_providerless_arena(&arena, &kept, &degrees, &clique, &mut rels_new, &mut report_new);
+        let links = observed_links_arena(&arena, &kept);
+        assert_eq!(links, observed_links(&kept_paths));
+        remaining_p2p_over(&links, &mut rels_new, &mut report_new);
+
+        assert_eq!(report_old.discarded_poisoned, report_new.discarded_poisoned);
+        assert_eq!(report_old.c2p_from_topdown, report_new.c2p_from_topdown);
+        assert_eq!(report_old.conflicts, report_new.conflicts);
+        assert_eq!(report_old.c2p_providerless, report_new.c2p_providerless);
+        assert_eq!(report_old.p2p_assigned, report_new.p2p_assigned);
+        assert_eq!(rels_old, rels_new);
+        assert!(!rels_new.is_empty(), "fixture must actually infer links");
     }
 }

@@ -8,6 +8,8 @@
 //! by the simulator's tests, the pipeline's audit, and downstream
 //! consumers who want to grade paths against an inference.
 
+use crate::par;
+use crate::patharena::PathArena;
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +72,102 @@ pub fn check_valley_free(path: &AsPath, rels: &RelationshipMap) -> ValleyVerdict
             Orientation::Sibling => {} // transparent
             Orientation::Provider => {
                 // w[1] is w[0]'s provider: ascending.
+                if phase == 1 {
+                    return ValleyVerdict::AscentAfterDescent { position: i };
+                }
+            }
+            Orientation::Peer => {
+                if peered {
+                    return ValleyVerdict::SecondPeering { position: i };
+                }
+                if phase == 1 {
+                    return ValleyVerdict::AscentAfterDescent { position: i };
+                }
+                peered = true;
+                phase = 1;
+            }
+            Orientation::Customer => {
+                phase = 1;
+            }
+        }
+    }
+    ValleyVerdict::ValleyFree
+}
+
+/// Aggregated valley grades over every distinct path of a [`PathArena`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValleyStats {
+    /// Distinct paths graded.
+    pub total: usize,
+    /// Paths crossing at least one link the assignment does not classify.
+    pub unknown: usize,
+    /// Paths violating valley-free export (ascent-after-descent or a
+    /// second peering).
+    pub valleys: usize,
+    /// First `(path index, hop)` crossing an unknown link, in arena order.
+    pub first_unknown: Option<(usize, usize)>,
+    /// First `(path index, hop)` violating the valley rule, in arena order.
+    pub first_valley: Option<(usize, usize)>,
+}
+
+/// Grade every distinct path of the arena against `rels` in one
+/// parallel sweep. Worker shards grade contiguous path ranges and the
+/// per-shard stats merge in shard order, so the totals *and* the
+/// first-offender positions are identical for every thread count.
+/// Arena paths are prepending-free by construction (the sanitizer
+/// compresses before the arena dedups), so no recompression happens.
+pub fn grade_arena(arena: &PathArena, rels: &RelationshipMap, par_cfg: Parallelism) -> ValleyStats {
+    let interner = arena.interner();
+    let chunked = par::map_ranges(par_cfg, 64, arena.len(), |range| {
+        let mut s = ValleyStats::default();
+        for p in range {
+            s.total += 1;
+            match check_valley_ids(arena.path(p), interner, rels) {
+                ValleyVerdict::ValleyFree => {}
+                ValleyVerdict::UnknownLink { position } => {
+                    s.unknown += 1;
+                    if s.first_unknown.is_none() {
+                        s.first_unknown = Some((p, position));
+                    }
+                }
+                ValleyVerdict::AscentAfterDescent { position }
+                | ValleyVerdict::SecondPeering { position } => {
+                    s.valleys += 1;
+                    if s.first_valley.is_none() {
+                        s.first_valley = Some((p, position));
+                    }
+                }
+            }
+        }
+        s
+    });
+    let mut out = ValleyStats::default();
+    for s in chunked {
+        out.total += s.total;
+        out.unknown += s.unknown;
+        out.valleys += s.valleys;
+        if out.first_unknown.is_none() {
+            out.first_unknown = s.first_unknown;
+        }
+        if out.first_valley.is_none() {
+            out.first_valley = s.first_valley;
+        }
+    }
+    out
+}
+
+/// [`check_valley_free`] over dense-id hops (already prepending-free).
+fn check_valley_ids(hops: &[u32], interner: &AsnInterner, rels: &RelationshipMap) -> ValleyVerdict {
+    let mut phase = 0u8;
+    let mut peered = false;
+    for (i, w) in hops.windows(2).enumerate() {
+        let (x, y) = (interner.resolve(w[0]), interner.resolve(w[1]));
+        let Some(orientation) = rels.orientation(x, y) else {
+            return ValleyVerdict::UnknownLink { position: i };
+        };
+        match orientation {
+            Orientation::Sibling => {} // transparent
+            Orientation::Provider => {
                 if phase == 1 {
                     return ValleyVerdict::AscentAfterDescent { position: i };
                 }
@@ -237,6 +335,59 @@ mod tests {
             check_valley_free(&AsPath::from_u32s([100, 10, 11, 10]), &r),
             ValleyVerdict::ValleyFree
         );
+    }
+
+    #[test]
+    fn arena_grading_matches_per_path_checks() {
+        use crate::sanitize::{sanitize, SanitizeConfig};
+        let mut r = rels();
+        r.insert_p2p(Asn(2), Asn(3));
+        // A mix: valley-free, unknown-link, and a second-peering valley.
+        let raw: Vec<&[u32]> = vec![
+            &[100, 10, 1, 2, 20],
+            &[1, 999],
+            &[100, 10, 1],
+            &[1, 2, 3],
+        ];
+        let ps: PathSet = raw
+            .iter()
+            .enumerate()
+            .map(|(i, p)| PathSample {
+                vp: Asn(p[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(p.iter().copied()),
+            })
+            .collect();
+        let clean = sanitize(&ps, &SanitizeConfig::default());
+        let arena = PathArena::build(&clean);
+
+        let stats = grade_arena(&arena, &r, Parallelism::sequential());
+        assert_eq!(stats, grade_arena(&arena, &r, Parallelism::threads(4)));
+
+        let mut expect = ValleyStats::default();
+        for (p, path) in arena.distinct_aspaths().iter().enumerate() {
+            expect.total += 1;
+            match check_valley_free(path, &r) {
+                ValleyVerdict::ValleyFree => {}
+                ValleyVerdict::UnknownLink { position } => {
+                    expect.unknown += 1;
+                    if expect.first_unknown.is_none() {
+                        expect.first_unknown = Some((p, position));
+                    }
+                }
+                ValleyVerdict::AscentAfterDescent { position }
+                | ValleyVerdict::SecondPeering { position } => {
+                    expect.valleys += 1;
+                    if expect.first_valley.is_none() {
+                        expect.first_valley = Some((p, position));
+                    }
+                }
+            }
+        }
+        assert_eq!(stats, expect);
+        assert_eq!(stats.total, 4);
+        assert_eq!(stats.unknown, 1);
+        assert_eq!(stats.valleys, 1);
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn clean_small_scale_inference_passes() {
         "p2c-cycles",
         "cone-containment",
         "cone-agreement",
+        "path-arena",
         "valley-unknown-links",
     ] {
         assert!(
@@ -114,6 +115,46 @@ fn corrupted_relationships_fail_loudly() {
         "{}",
         report.render()
     );
+}
+
+#[test]
+fn corrupted_path_arena_fails_loudly() {
+    use asrank_core::audit::{check_arena, AuditReport};
+    use asrank_core::PathArena;
+
+    let interner = || AsnInterner::from_ases([Asn(1), Asn(2), Asn(3)]);
+
+    // A well-formed raw arena passes: two distinct ascending paths.
+    let clean = PathArena::from_raw(interner(), vec![0, 2, 4], vec![0, 1, 1, 2], vec![1, 3]);
+    let mut report = AuditReport::default();
+    check_arena(&clean, &mut report);
+    assert!(report.passed(), "{}", report.render());
+    assert!(
+        report.findings.iter().any(|f| f.check == "path-arena"),
+        "{}",
+        report.render()
+    );
+
+    // Each corruption shape must raise a path-arena Error.
+    let corrupted = [
+        // Offsets not monotone.
+        PathArena::from_raw(interner(), vec![0, 3, 2], vec![0, 1, 1, 2], vec![1, 1]),
+        // Id out of interner range.
+        PathArena::from_raw(interner(), vec![0, 2, 4], vec![0, 1, 1, 9], vec![1, 1]),
+        // Zero multiplicity.
+        PathArena::from_raw(interner(), vec![0, 2, 4], vec![0, 1, 1, 2], vec![1, 0]),
+        // Duplicate path: dedup was not actually performed.
+        PathArena::from_raw(interner(), vec![0, 2, 4], vec![0, 1, 0, 1], vec![1, 1]),
+    ];
+    for (i, arena) in corrupted.iter().enumerate() {
+        let mut report = AuditReport::default();
+        check_arena(arena, &mut report);
+        assert!(
+            has_error(&report, "path-arena"),
+            "corruption {i} not caught: {}",
+            report.render()
+        );
+    }
 }
 
 #[test]

@@ -1,10 +1,16 @@
-//! Property test: the dense bitset recursive-cone closure must agree
-//! with the straightforward HashSet reference implementation on random
-//! small topologies — including ones with c2p cycles, which the bitset
-//! path collapses through an SCC condensation while the reference walks
-//! them directly with a visited-set BFS.
+//! Property tests pinning the fast cone engines to their references:
+//!
+//! * the dense bitset recursive-cone closure must agree with the
+//!   straightforward HashSet implementation on random small topologies —
+//!   including ones with c2p cycles, which the bitset path collapses
+//!   through an SCC condensation while the reference walks them directly
+//!   with a visited-set BFS;
+//! * the arena-backed single-sweep BGP-observed and provider/peer
+//!   observed cones must agree exactly with the retained pre-arena
+//!   references on random path sets + relationship maps, at both
+//!   `Parallelism::sequential()` and `Parallelism::threads(4)`.
 
-use asrank_core::CustomerCones;
+use asrank_core::{sanitize, CustomerCones, SanitizeConfig, SanitizedPaths};
 use asrank_types::prelude::*;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -39,6 +45,48 @@ fn rels_from(edges: &[(u32, u32)]) -> RelationshipMap {
     for &(c, p) in edges {
         if c != p {
             rels.insert_c2p(Asn(c), Asn(p));
+        }
+    }
+    rels
+}
+
+/// Random raw path sets over the same small ASN universe. Sanitization
+/// discards loops and compresses prepending, so the surviving set is a
+/// realistic mix of short, duplicated, and overlapping paths.
+fn paths_strategy() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    proptest::collection::vec(proptest::collection::vec(1u32..40, 2..6), 1..40)
+}
+
+/// Random mixed relationship edges: `(x, y, peer?)` — p2p when the flag
+/// is set, c2p (x customer of y) otherwise. Last writer wins, exactly as
+/// in the pipeline.
+fn mixed_edges_strategy() -> impl Strategy<Value = Vec<(u32, u32, bool)>> {
+    proptest::collection::vec((1u32..40, 1u32..40, any::<bool>()), 0..80)
+}
+
+fn sanitized_from(paths: &[Vec<u32>]) -> SanitizedPaths {
+    let ps: PathSet = paths
+        .iter()
+        .enumerate()
+        .map(|(i, p)| PathSample {
+            vp: Asn(p[0]),
+            prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+            path: AsPath::from_u32s(p.iter().copied()),
+        })
+        .collect();
+    sanitize(&ps, &SanitizeConfig::default())
+}
+
+fn mixed_rels(edges: &[(u32, u32, bool)]) -> RelationshipMap {
+    let mut rels = RelationshipMap::new();
+    for &(x, y, peer) in edges {
+        if x == y {
+            continue;
+        }
+        if peer {
+            rels.insert_p2p(Asn(x), Asn(y));
+        } else {
+            rels.insert_c2p(Asn(x), Asn(y));
         }
     }
     rels
@@ -85,6 +133,46 @@ proptest! {
         let first = fast.members(Asn(1)).to_vec();
         for i in 2..=chain {
             prop_assert_eq!(fast.members(Asn(i)), first.as_slice());
+        }
+    }
+
+    #[test]
+    fn arena_bgp_observed_matches_reference(
+        paths in paths_strategy(),
+        edges in mixed_edges_strategy(),
+    ) {
+        let sanitized = sanitized_from(&paths);
+        let rels = mixed_rels(&edges);
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(x, y, _)| (x, y)).collect();
+        let prefixes = prefixes_for(&pairs);
+        let slow = CustomerCones::bgp_observed_reference(&sanitized, &rels, Some(&prefixes));
+        for par in [Parallelism::sequential(), Parallelism::threads(4)] {
+            let fast = CustomerCones::bgp_observed_with(&sanitized, &rels, Some(&prefixes), par);
+            prop_assert_eq!(fast.len(), slow.len(), "cone count differs at {:?}", par);
+            for asn in slow.ases() {
+                prop_assert_eq!(fast.members(asn), slow.members(asn), "members of {} differ at {:?}", asn, par);
+                prop_assert_eq!(fast.size(asn), slow.size(asn), "size of {} differs at {:?}", asn, par);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_provider_peer_observed_matches_reference(
+        paths in paths_strategy(),
+        edges in mixed_edges_strategy(),
+    ) {
+        let sanitized = sanitized_from(&paths);
+        let rels = mixed_rels(&edges);
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(x, y, _)| (x, y)).collect();
+        let prefixes = prefixes_for(&pairs);
+        let slow = CustomerCones::provider_peer_observed_reference(&sanitized, &rels, Some(&prefixes));
+        for par in [Parallelism::sequential(), Parallelism::threads(4)] {
+            let fast = CustomerCones::provider_peer_observed_with(&sanitized, &rels, Some(&prefixes), par);
+            prop_assert_eq!(fast.len(), slow.len(), "cone count differs at {:?}", par);
+            for asn in slow.ases() {
+                prop_assert_eq!(fast.members(asn), slow.members(asn), "members of {} differ at {:?}", asn, par);
+                prop_assert_eq!(fast.size(asn), slow.size(asn), "size of {} differs at {:?}", asn, par);
+            }
         }
     }
 }

@@ -86,6 +86,7 @@ const DETERMINISM_CRITICAL: &[&str] = &[
     "crates/core/src/pipeline.rs",
     "crates/core/src/cone.rs",
     "crates/core/src/par.rs",
+    "crates/core/src/patharena.rs",
     "crates/bgpsim/src/propagate.rs",
 ];
 
@@ -660,6 +661,7 @@ mod tests {
     fn scope_matching() {
         assert!(in_scope_l001("crates/core/src/pipeline/steps.rs"));
         assert!(in_scope_l001("crates/core/src/cone.rs"));
+        assert!(in_scope_l001("crates/core/src/patharena.rs"));
         assert!(in_scope_l001("crates/bgpsim/src/propagate.rs"));
         assert!(!in_scope_l001("crates/core/src/io.rs"));
         assert!(!in_scope_l001("crates/bgpsim/src/lib.rs"));
