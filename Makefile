@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH.json
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
 BENCHES := cones sanitize pipeline propagation
 
-.PHONY: all build test lint audit verify bench bench-cones clean
+.PHONY: all build test test-engine lint audit verify bench bench-cones stage-report clean
 
 all: build
 
@@ -18,6 +18,14 @@ build:
 
 test:
 	$(CARGO) test --workspace
+
+# Staged-engine acceptance: property tests pinning the memoized stage
+# graph to the monolithic pipeline (bit-identical inference at both
+# parallelism levels and under every ablation), plus the cache
+# invalidation/reuse counters.
+test-engine:
+	$(CARGO) test -p asrank-core --test engine_equivalence
+	$(CARGO) test -p asrank-core engine::
 
 # Source-level determinism/robustness checks (L001–L005). Exit 1 on any
 # violation; annotate intentional exceptions with
@@ -36,8 +44,10 @@ audit: build
 	./target/release/asrank audit --rels $$tmp/as-rel.txt --rib $$tmp/rib.mrt; \
 	rc=$$?; rm -rf $$tmp; exit $$rc
 
-# The full pre-merge gate: compile, test, source lint, semantic audit.
-verify: build test lint audit
+# The full pre-merge gate: compile, test (workspace tests include the
+# engine-equivalence suite; test-engine re-runs it explicitly so a
+# failure is named in the gate output), source lint, semantic audit.
+verify: build test test-engine lint audit
 
 # Run the wired criterion benches with JSON-line capture, then assemble
 # the lines into a single $(BENCH_OUT) snapshot (medians + derived
@@ -60,6 +70,15 @@ bench-cones:
 	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench cones
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR1.json
+
+# Per-stage instrumentation over a generated scenario: wall time, item
+# counts, artifact sizes, and cache hit/miss counters for every engine
+# stage, as deterministic-shape JSON on stdout.
+#   make stage-report [SCALE=tiny|small|medium|internet] [SEED=42]
+SCALE ?= small
+SEED ?= 42
+stage-report:
+	$(CARGO) run --release -p asrank-bench --bin report -- stage-report --scale $(SCALE) --seed $(SEED)
 
 clean:
 	$(CARGO) clean

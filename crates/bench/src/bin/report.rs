@@ -4,9 +4,15 @@
 //! Usage:
 //! ```text
 //! report <e1|e2|…|e11|all> [--scale tiny|small|medium|internet] [--seed N]
+//! report stage-report [--scale tiny|small|medium|internet] [--seed N]
 //! report bench-json <criterion-lines-file> <out.json>
 //! report bench-check <new.json> <baseline.json>
 //! ```
+//!
+//! `stage-report` runs the staged engine end to end over a generated
+//! scenario and prints the per-stage instrumentation JSON (wall time,
+//! item counts, artifact sizes, cache hits/misses) to stdout — the
+//! `make stage-report` profile of where inference time goes.
 //!
 //! `bench-json` consumes the JSON-lines file the vendored criterion
 //! writes when `CRITERION_JSON` is set (one object per benchmark) and
@@ -14,7 +20,22 @@
 //! `make bench` drives it to produce `BENCH_*.json`.
 
 use asrank_bench::experiments;
-use asrank_bench::harness::Scale;
+use asrank_bench::harness::{scenario_inputs, Scale, Scenario};
+use asrank_core::engine::Snapshot;
+
+/// Run the staged engine over a generated scenario and print the
+/// per-stage instrumentation JSON. Every stage (inference plus all three
+/// cone flavors) is materialized, so the report covers the whole DAG.
+fn stage_report(scale: Scale, seed: u64) -> i32 {
+    let (paths, cfg) = scenario_inputs(&Scenario::at_scale(scale, seed));
+    let mut snapshot = Snapshot::new(&paths, cfg);
+    if let Err(e) = snapshot.cones() {
+        eprintln!("engine run failed: {e}");
+        return 1;
+    }
+    print!("{}", snapshot.stage_report().to_json());
+    0
+}
 
 /// Pull a string field out of a flat single-line JSON object.
 fn json_str(line: &str, key: &str) -> Option<String> {
@@ -246,9 +267,16 @@ fn main() {
     }
 
     let Some(id) = id else {
-        eprintln!("usage: report <e1..e11|all> [--scale tiny|small|medium|internet] [--seed N]");
+        eprintln!(
+            "usage: report <e1..e11|all|stage-report> \
+             [--scale tiny|small|medium|internet] [--seed N]"
+        );
         std::process::exit(2);
     };
+
+    if id == "stage-report" {
+        std::process::exit(stage_report(scale, seed));
+    }
 
     let ids: Vec<&str> = if id == "all" {
         experiments::ALL.to_vec()

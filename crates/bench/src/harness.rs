@@ -83,6 +83,27 @@ impl Scenario {
     }
 }
 
+/// Build just the engine inputs for a scenario: generate the topology,
+/// simulate BGP over it, and pair the observed paths with the inference
+/// config (IXP list from the topology). This is the cheap front half of
+/// [`Workbench::build`] for callers that drive the staged engine
+/// directly — e.g. `report stage-report`, which wants the per-stage
+/// instrumentation rather than the finished [`Inference`].
+pub fn scenario_inputs(scenario: &Scenario) -> (PathSet, InferenceConfig) {
+    let topo = generate(&scenario.topology, scenario.seed);
+    let sim_cfg = SimConfig {
+        vp_selection: VpSelection::Count(scenario.vps),
+        full_feed_fraction: scenario.full_feed,
+        anomalies: scenario.anomalies.clone(),
+        destination_sample: scenario.destination_sample,
+        threads: 0,
+        seed: scenario.seed,
+    };
+    let sim = simulate(&topo, &sim_cfg);
+    let ixps: Vec<Asn> = topo.ixps.iter().map(|i| i.route_server).collect();
+    (sim.paths, InferenceConfig::with_ixps(ixps))
+}
+
 /// Everything an experiment needs, built once.
 #[derive(Debug)]
 pub struct Workbench {

@@ -5,18 +5,64 @@
 //! completeness, cycle containment, cone containment and agreement) and —
 //! when a RIB is supplied — valley-free consistency of every sanitized
 //! path. Exit 0 when no error-severity findings, 1 otherwise.
+//!
+//! With `--stage NAME` the command instead materializes one memoized
+//! engine artifact from `--rib` (plus its upstream dependencies, served
+//! from the snapshot store) and audits only that artifact — useful for
+//! bisecting which pipeline stage first breaks an invariant without
+//! paying for the full inference.
 
 use crate::args::Flags;
-use asrank_core::audit::{audit, AuditConfig};
+use crate::snapshot::load_inputs;
+use asrank_core::audit::{audit, audit_stage, AuditConfig};
 use asrank_core::read_as_rel;
 use asrank_core::sanitize::{sanitize_with, SanitizeConfig};
-use asrank_types::{Asn, Parallelism};
+use asrank_types::{Asn, EngineError, Parallelism};
 use mrt_codec::read_rib_dump;
+
+/// Audit one engine stage artifact: shares the `--rib`/`--topo`/`--threads`
+/// loader with `infer` and `rank`, so a warm snapshot is graded without
+/// re-running anything upstream of the named stage.
+fn run_stage(stage: &str, flags: &Flags) -> i32 {
+    let inputs = match load_inputs(flags) {
+        Ok(i) => i,
+        Err(code) => return code,
+    };
+    let mut snapshot = inputs.snapshot();
+    let cfg = AuditConfig {
+        parallelism: inputs.cfg.parallelism,
+        ..AuditConfig::default()
+    };
+    match audit_stage(&mut snapshot, stage, &cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                0
+            } else {
+                1
+            }
+        }
+        Err(e @ EngineError::UnknownStage(_)) => {
+            eprintln!(
+                "{e}; valid stages: {}",
+                asrank_core::engine::Snapshot::stage_names().join(", ")
+            );
+            2
+        }
+        Err(e) => {
+            eprintln!("stage audit failed: {e}");
+            1
+        }
+    }
+}
 
 pub fn run(args: &[String]) -> i32 {
     let Some(flags) = Flags::parse(args) else {
         return 2;
     };
+    if let Some(stage) = flags.get("stage") {
+        return run_stage(stage, &flags);
+    }
     let Some(rels_path) = flags.required("rels") else {
         return 2;
     };

@@ -1,8 +1,14 @@
 //! `asrank diff` — compare two as-rel files (e.g. two monthly snapshots
 //! or two inference runs) and report the delta.
+//!
+//! Either side may be a raw `.mrt` RIB; those are inferred through the
+//! staged engine before diffing, so `diff --old a.mrt --new b.mrt`
+//! compares two captures directly.
 
 use crate::args::Flags;
-use asrank_core::{diff_relationships, read_as_rel};
+use crate::snapshot::rels_from;
+use asrank_core::diff_relationships;
+use asrank_types::Parallelism;
 
 pub fn run(args: &[String]) -> i32 {
     let Some(flags) = Flags::parse(args) else {
@@ -17,25 +23,16 @@ pub fn run(args: &[String]) -> i32 {
     let Some(show) = flags.get_or("show", 10usize) else {
         return 2;
     };
-
-    let load = |path: &str| -> Option<asrank_types::RelationshipMap> {
-        let file = match std::fs::File::open(path) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("cannot open {path}: {e}");
-                return None;
-            }
-        };
-        match read_as_rel(std::io::BufReader::new(file)) {
-            Ok(r) => Some(r),
-            Err(e) => {
-                eprintln!("failed parsing {path}: {e}");
-                None
-            }
-        }
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
     };
-    let Some(old) = load(old_path) else { return 1 };
-    let Some(new) = load(new_path) else { return 1 };
+
+    let Some(old) = rels_from(old_path, threads) else {
+        return 1;
+    };
+    let Some(new) = rels_from(new_path, threads) else {
+        return 1;
+    };
 
     let d = diff_relationships(&old, &new);
     println!(

@@ -1,57 +1,31 @@
 //! `asrank infer` — run the ASRank pipeline over an MRT RIB file.
+//!
+//! Drives the staged engine (`asrank_core::engine::Snapshot`), so the
+//! per-stage instrumentation is available: `--stage-report FILE` writes
+//! the deterministic stage-report JSON (wall time, item counts, artifact
+//! sizes, cache hits/misses) next to the normal output.
 
 use crate::args::Flags;
-use as_topology_gen::load_bundle;
-use asrank_core::pipeline::{infer, InferenceConfig};
+use crate::snapshot::load_inputs;
 use asrank_core::write_as_rel;
-use asrank_types::{Asn, Parallelism};
-use mrt_codec::read_rib_dump;
-use std::path::PathBuf;
 
 pub fn run(args: &[String]) -> i32 {
     let Some(flags) = Flags::parse(args) else {
         return 2;
     };
-    let Some(rib) = flags.required("rib") else {
-        return 2;
+    let inputs = match load_inputs(&flags) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
 
-    let file = match std::fs::File::open(rib) {
-        Ok(f) => f,
+    let mut snapshot = inputs.snapshot();
+    let inference = match snapshot.inference() {
+        Ok(inf) => inf,
         Err(e) => {
-            eprintln!("cannot open {rib}: {e}");
+            eprintln!("inference failed: {e}");
             return 1;
         }
     };
-    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("failed reading MRT: {e}");
-            return 1;
-        }
-    };
-
-    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
-        return 2;
-    };
-
-    // IXP route-server list from the bundle, when provided.
-    let mut cfg = InferenceConfig::default();
-    if let Some(dir) = flags.get("topo") {
-        match load_bundle(&PathBuf::from(dir)) {
-            Ok(t) => {
-                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
-                cfg = InferenceConfig::with_ixps(ixps);
-            }
-            Err(e) => {
-                eprintln!("failed to load bundle for IXP list: {e}");
-                return 1;
-            }
-        }
-    }
-
-    cfg.parallelism = threads;
-    let inference = infer(&paths, &cfg);
     let (c2p, p2p, s2s) = inference.relationships.counts();
     println!(
         "paths: {} in / {} clean; links classified: {} ({c2p} c2p, {p2p} p2p, {s2s} s2s)",
@@ -87,6 +61,15 @@ pub fn run(args: &[String]) -> i32 {
                 return 1;
             }
         }
+    }
+
+    if let Some(report_path) = flags.get("stage-report") {
+        let json = snapshot.stage_report().to_json();
+        if let Err(e) = std::fs::write(report_path, &json) {
+            eprintln!("cannot write stage report {report_path}: {e}");
+            return 1;
+        }
+        println!("wrote stage report to {report_path}");
     }
     0
 }

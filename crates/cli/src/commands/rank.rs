@@ -1,67 +1,40 @@
 //! `asrank rank` — infer from an MRT file and print the AS ranking by
 //! customer cone (the paper's public artifact).
+//!
+//! Shares the engine snapshot with `infer`: the sanitize/arena/degree
+//! artifacts feeding the inference are materialized once and the
+//! recursive cone (the only flavor the ranking prints) is pulled from
+//! the store — the command no longer re-sanitizes the paths or computes
+//! the two observed cone flavors it never displayed.
 
 use crate::args::Flags;
-use as_topology_gen::load_bundle;
-use asrank_core::cone::ConeSets;
-use asrank_core::pipeline::{infer, InferenceConfig};
-use asrank_core::{rank_ases, sanitize};
-use asrank_types::{Asn, Parallelism};
-use mrt_codec::read_rib_dump;
-use std::path::PathBuf;
+use crate::snapshot::load_inputs;
+use asrank_core::rank_ases;
 
 pub fn run(args: &[String]) -> i32 {
     let Some(flags) = Flags::parse(args) else {
         return 2;
     };
-    let Some(rib) = flags.required("rib") else {
-        return 2;
-    };
     let Some(top) = flags.get_or("top", 10usize) else {
         return 2;
     };
-    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
-        return 2;
+    let inputs = match load_inputs(&flags) {
+        Ok(i) => i,
+        Err(code) => return code,
     };
 
-    let file = match std::fs::File::open(rib) {
-        Ok(f) => f,
+    let mut snapshot = inputs.snapshot();
+    let (inference, cone) = match snapshot.inference().and_then(|inf| {
+        let cone = snapshot.recursive_cone()?;
+        Ok((inf, cone))
+    }) {
+        Ok(pair) => pair,
         Err(e) => {
-            eprintln!("cannot open {rib}: {e}");
+            eprintln!("ranking failed: {e}");
             return 1;
         }
     };
-    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("failed reading MRT: {e}");
-            return 1;
-        }
-    };
-
-    let (cfg, prefixes) = match flags.get("topo") {
-        Some(dir) => match load_bundle(&PathBuf::from(dir)) {
-            Ok(t) => {
-                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
-                (
-                    InferenceConfig::with_ixps(ixps),
-                    Some(t.ground_truth.prefixes),
-                )
-            }
-            Err(e) => {
-                eprintln!("failed to load bundle: {e}");
-                return 1;
-            }
-        },
-        None => (InferenceConfig::default(), None),
-    };
-
-    let mut cfg = cfg;
-    cfg.parallelism = threads;
-    let inference = infer(&paths, &cfg);
-    let clean = sanitize(&paths, &cfg.sanitize);
-    let cones = ConeSets::compute_with(&clean, &inference.relationships, prefixes.as_ref(), threads);
-    let ranked = rank_ases(&cones.recursive, &inference.degrees);
+    let ranked = rank_ases(&cone, &inference.degrees);
 
     println!(
         "{:>5}  {:>10}  {:>10}  {:>10}  {:>14}  {:>8}",

@@ -1,10 +1,15 @@
 //! `asrank stability` — jackknife the inference over vantage points and
 //! report per-link agreement.
+//!
+//! Each subsample is inferred through [`asrank_core::pipeline::infer`],
+//! which drives the staged engine (`asrank_core::engine::Snapshot`)
+//! under the hood — every jackknife run gets the same memoized stage
+//! graph as the other pipeline commands.
 
 use crate::args::Flags;
+use crate::snapshot::load_rib;
 use asrank_core::pipeline::InferenceConfig;
 use asrank_core::stability::jackknife;
-use mrt_codec::read_rib_dump;
 
 pub fn run(args: &[String]) -> i32 {
     let Some(flags) = Flags::parse(args) else {
@@ -20,19 +25,8 @@ pub fn run(args: &[String]) -> i32 {
         return 2;
     };
 
-    let file = match std::fs::File::open(rib) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot open {rib}: {e}");
-            return 1;
-        }
-    };
-    let paths = match read_rib_dump(std::io::BufReader::new(file)) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("failed reading MRT: {e}");
-            return 1;
-        }
+    let Some(paths) = load_rib(rib) else {
+        return 1;
     };
 
     let report = jackknife(&paths, &InferenceConfig::default(), subsamples, seed);

@@ -1,9 +1,14 @@
 //! `asrank validate` — score an as-rel file against a topology bundle's
 //! ground truth and against emulated validation corpora.
+//!
+//! `--inferred` also accepts a raw `.mrt` RIB: the relationships are then
+//! inferred through the staged engine, skipping the separate
+//! `infer --out` round trip.
 
 use crate::args::Flags;
+use crate::snapshot::rels_from;
 use as_topology_gen::load_bundle;
-use asrank_core::read_as_rel;
+use asrank_types::Parallelism;
 use asrank_validation::{
     build_corpus, evaluate_against_corpus, evaluate_against_truth, CorpusConfig,
 };
@@ -22,20 +27,12 @@ pub fn run(args: &[String]) -> i32 {
     let Some(corpus_seed) = flags.get_or("corpus-seed", 42u64) else {
         return 2;
     };
-
-    let file = match std::fs::File::open(inferred_path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot open {inferred_path}: {e}");
-            return 1;
-        }
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
     };
-    let inferred = match read_as_rel(std::io::BufReader::new(file)) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("failed parsing as-rel: {e}");
-            return 1;
-        }
+
+    let Some(inferred) = rels_from(inferred_path, threads) else {
+        return 1;
     };
     let topo = match load_bundle(&PathBuf::from(topo_dir)) {
         Ok(t) => t,

@@ -16,6 +16,7 @@
 
 mod args;
 mod commands;
+mod snapshot;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -54,16 +55,24 @@ subcommands:
   generate   --scale tiny|small|medium|internet [--seed N] --out DIR
   simulate   --topo DIR [--vps N] [--full-feed F] [--seed N] [--threads N]
              [--dest-sample N] [--anomalies none|realistic] --out FILE.mrt
-  infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt] [--threads N|auto]
+  infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt]
+             [--stage-report FILE.json] [--threads N|auto]
   audit      --rels as-rel.txt [--rib FILE.mrt] [--clique A,B,C] [--threads N|auto]
-  validate   --inferred as-rel.txt --topo DIR [--corpus-seed N]
+  audit      --stage NAME --rib FILE.mrt [--topo DIR] [--threads N|auto]
+  validate   --inferred as-rel.txt|FILE.mrt --topo DIR [--corpus-seed N]
   rank       --rib FILE.mrt [--topo DIR] [--top N] [--threads N|auto]
   stability  --rib FILE.mrt [--subsamples K] [--seed N]
   depeer     --topo DIR [--a ASN --b ASN] [--vps N] [--seed N] [--out FILE.mrt]
-  diff       --old as-rel.txt --new as-rel.txt [--show N]
+  diff       --old as-rel.txt|FILE.mrt --new as-rel.txt|FILE.mrt [--show N]
   realism    --topo DIR
   info       --rib FILE.mrt
 
 --threads takes a worker count (1 = deterministic single-threaded order,
 which produces identical output to any other value) or \"auto\"/0 for all
-available cores.";
+available cores.
+
+audit --stage materializes one memoized engine artifact and audits only
+it; NAME is one of s1_sanitize, s2_degrees, s3_clique, path_arena,
+s4_poison, observed_links, s5_topdown, s6_vp_providers,
+s7_anomaly_repair, s8_stub_clique, s9_providerless, s10_p2p,
+s11_inference, cone_recursive, cone_bgp_observed, cone_provider_peer.";

@@ -1,0 +1,135 @@
+//! Shared input loading for the engine-driven subcommands.
+//!
+//! Every pipeline-running command (`infer`, `rank`, `audit --stage`,
+//! `stability`) used to parse its own flags into a private re-run of the
+//! monolithic pipeline. They now share this loader plus one
+//! [`asrank_core::engine::Snapshot`] entry point: flags become a
+//! [`LoadedInputs`] (paths + config + optional prefix table), the
+//! snapshot memoizes every stage, and commands pull exactly the
+//! artifacts they print.
+
+use crate::args::Flags;
+use as_topology_gen::load_bundle;
+use asrank_core::engine::Snapshot;
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::read_as_rel;
+use asrank_types::{Asn, Ipv4Prefix, Parallelism, PathSet, RelationshipMap};
+use mrt_codec::read_rib_dump;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Everything a pipeline command needs to build a [`Snapshot`].
+pub struct LoadedInputs {
+    /// Observed paths decoded from the `--rib` MRT file.
+    pub paths: PathSet,
+    /// Inference configuration (IXP list from `--topo`, thread budget
+    /// from `--threads`).
+    pub cfg: InferenceConfig,
+    /// Per-AS originated prefixes from the `--topo` bundle, when given —
+    /// the cone stages weight cones by these.
+    pub prefixes: Option<HashMap<Asn, Vec<Ipv4Prefix>>>,
+}
+
+impl LoadedInputs {
+    /// Build the engine snapshot over these inputs. The snapshot borrows
+    /// `self.paths`, so keep the `LoadedInputs` alive while querying.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        let snap = Snapshot::new(&self.paths, self.cfg.clone());
+        match &self.prefixes {
+            Some(table) => snap.with_prefixes(table.clone()),
+            None => snap,
+        }
+    }
+}
+
+/// Decode one MRT RIB file into a path set. Prints the failure and
+/// returns `None` on error.
+pub fn load_rib(path: &str) -> Option<PathSet> {
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return None;
+        }
+    };
+    match read_rib_dump(std::io::BufReader::new(file)) {
+        Ok(p) => Some(p),
+        Err(e) => {
+            eprintln!("failed reading MRT {path}: {e}");
+            None
+        }
+    }
+}
+
+/// Parse the shared `--rib` / `--topo` / `--threads` flags into
+/// [`LoadedInputs`]. On error, prints the failure and returns the
+/// process exit code (2 for flag mistakes, 1 for IO failures).
+pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
+    let Some(rib) = flags.required("rib") else {
+        return Err(2);
+    };
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return Err(2);
+    };
+    let Some(paths) = load_rib(rib) else {
+        return Err(1);
+    };
+
+    let (mut cfg, prefixes) = match flags.get("topo") {
+        Some(dir) => match load_bundle(&PathBuf::from(dir)) {
+            Ok(t) => {
+                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
+                (
+                    InferenceConfig::with_ixps(ixps),
+                    Some(t.ground_truth.prefixes),
+                )
+            }
+            Err(e) => {
+                eprintln!("failed to load bundle {dir}: {e}");
+                return Err(1);
+            }
+        },
+        None => (InferenceConfig::default(), None),
+    };
+    cfg.parallelism = threads;
+
+    Ok(LoadedInputs {
+        paths,
+        cfg,
+        prefixes,
+    })
+}
+
+/// Load a relationship map from either an as-rel text file or — when the
+/// path ends in `.mrt` — an MRT RIB, in which case the relationships are
+/// inferred through the staged engine. This lets `validate` and `diff`
+/// consume raw RIBs directly without a separate `infer --out` round trip.
+pub fn rels_from(path: &str, threads: Parallelism) -> Option<RelationshipMap> {
+    if path.ends_with(".mrt") {
+        let paths = load_rib(path)?;
+        let mut cfg = InferenceConfig::default();
+        cfg.parallelism = threads;
+        let mut snap = Snapshot::new(&paths, cfg);
+        return match snap.inference() {
+            Ok(inf) => Some(inf.relationships.clone()),
+            Err(e) => {
+                eprintln!("inference over {path} failed: {e}");
+                None
+            }
+        };
+    }
+    let file = match std::fs::File::open(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return None;
+        }
+    };
+    match read_as_rel(std::io::BufReader::new(file)) {
+        Ok(r) => Some(r),
+        Err(e) => {
+            eprintln!("failed parsing as-rel {path}: {e}");
+            None
+        }
+    }
+}

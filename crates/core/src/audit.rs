@@ -36,11 +36,13 @@
 
 use crate::cone::CustomerCones;
 use crate::csr::Csr;
+use crate::engine::{Artifact, Snapshot};
 use crate::patharena::PathArena;
 use crate::sanitize::SanitizedPaths;
 use crate::scc;
 use crate::valley::grade_arena;
 use asrank_types::prelude::*;
+use asrank_types::EngineError;
 
 /// How bad a finding is. Ordering is by severity: errors sort first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -202,6 +204,232 @@ pub fn audit(
         .findings
         .sort_by(|a, b| (a.severity, a.check).cmp(&(b.severity, b.check)));
     report
+}
+
+/// Audit a single memoized engine artifact — the partial-materialization
+/// path behind `asrank audit --stage <name>`.
+///
+/// Materializes exactly the named stage (plus its upstream dependencies,
+/// served from the snapshot's store when warm) and grades the artifact
+/// against the invariants appropriate to its kind: sanitize counter
+/// conservation for S1, ranking-order monotonicity for S2, sortedness
+/// for the clique and link lists, arena layout invariants, kept-mask
+/// consistency for S4, clique-p2p preservation for the S5–S10 states,
+/// the full relationship audit for S11, and member-list sortedness for
+/// the cones. Unknown stage names surface as
+/// [`EngineError::UnknownStage`].
+pub fn audit_stage(
+    snapshot: &mut Snapshot<'_>,
+    stage: &str,
+    cfg: &AuditConfig,
+) -> Result<AuditReport, EngineError> {
+    let artifact = snapshot.materialize(stage)?;
+    let mut report = AuditReport::default();
+
+    match &artifact {
+        Artifact::Sanitized(s) => {
+            let r = s.report;
+            let accounted =
+                r.output_paths + r.discarded_loops + r.discarded_reserved + r.discarded_short;
+            if r.input_paths != accounted {
+                report.push(
+                    Severity::Error,
+                    "sanitize-conservation",
+                    format!(
+                        "input {} != output {} + loops {} + reserved {} + short {}",
+                        r.input_paths,
+                        r.output_paths,
+                        r.discarded_loops,
+                        r.discarded_reserved,
+                        r.discarded_short
+                    ),
+                );
+            } else if r.output_paths != s.samples.len() {
+                report.push(
+                    Severity::Error,
+                    "sanitize-conservation",
+                    format!(
+                        "report says {} output paths but {} samples survive",
+                        r.output_paths,
+                        s.samples.len()
+                    ),
+                );
+            } else {
+                report.push(
+                    Severity::Info,
+                    "sanitize-conservation",
+                    format!(
+                        "{} input path(s) fully accounted for; {} survive",
+                        r.input_paths, r.output_paths
+                    ),
+                );
+            }
+            let short = s.samples.iter().filter(|p| p.path.len() < 2).count();
+            if short > 0 {
+                report.push(
+                    Severity::Error,
+                    "sanitize-min-length",
+                    format!("{short} sanitized path(s) have fewer than 2 hops"),
+                );
+            } else {
+                report.push(
+                    Severity::Info,
+                    "sanitize-min-length",
+                    "every sanitized path has ≥ 2 hops".to_string(),
+                );
+            }
+        }
+        Artifact::Degrees(d) => {
+            let ranked = d.ranked();
+            let bad = ranked.windows(2).position(|w| {
+                let ka = (
+                    std::cmp::Reverse(d.transit_degree(w[0])),
+                    std::cmp::Reverse(d.node_degree(w[0])),
+                    w[0],
+                );
+                let kb = (
+                    std::cmp::Reverse(d.transit_degree(w[1])),
+                    std::cmp::Reverse(d.node_degree(w[1])),
+                    w[1],
+                );
+                ka > kb
+            });
+            match bad {
+                Some(i) => report.push(
+                    Severity::Error,
+                    "degree-ranking",
+                    format!(
+                        "ranking violates (transit desc, node desc, ASN asc) at position {i} ({} before {})",
+                        ranked[i],
+                        ranked[i + 1]
+                    ),
+                ),
+                None => report.push(
+                    Severity::Info,
+                    "degree-ranking",
+                    format!("{} AS(es) ranked in paper order", ranked.len()),
+                ),
+            }
+        }
+        Artifact::Clique(c) => {
+            if c.windows(2).any(|w| w[0] >= w[1]) {
+                report.push(
+                    Severity::Error,
+                    "clique-sorted",
+                    "clique members are not strictly ascending by ASN".to_string(),
+                );
+            } else {
+                report.push(
+                    Severity::Info,
+                    "clique-sorted",
+                    format!("{} clique member(s), strictly ascending", c.len()),
+                );
+            }
+        }
+        Artifact::Arena(a) => check_arena(a, &mut report),
+        Artifact::Kept(k) => {
+            let arena = snapshot.arena()?;
+            if k.kept.len() != arena.len() {
+                report.push(
+                    Severity::Error,
+                    "kept-mask",
+                    format!(
+                        "kept mask covers {} path(s) but the arena holds {}",
+                        k.kept.len(),
+                        arena.len()
+                    ),
+                );
+            }
+            let dropped = k.kept.iter().filter(|&&b| !b).count();
+            if dropped != k.discarded {
+                report.push(
+                    Severity::Error,
+                    "kept-mask",
+                    format!(
+                        "discard counter says {} but the mask drops {dropped}",
+                        k.discarded
+                    ),
+                );
+            }
+            if report.findings.is_empty() {
+                report.push(
+                    Severity::Info,
+                    "kept-mask",
+                    format!(
+                        "{} of {} distinct path(s) kept ({} poisoned)",
+                        k.kept.len() - dropped,
+                        k.kept.len(),
+                        dropped
+                    ),
+                );
+            }
+        }
+        Artifact::Links(l) => {
+            if l.windows(2).any(|w| w[0] >= w[1]) {
+                report.push(
+                    Severity::Error,
+                    "links-sorted",
+                    "observed link list is not strictly sorted/deduplicated".to_string(),
+                );
+            } else {
+                report.push(
+                    Severity::Info,
+                    "links-sorted",
+                    format!("{} observed link(s), strictly sorted", l.len()),
+                );
+            }
+        }
+        Artifact::Steps(s) => {
+            // S4–S10 must preserve the clique's mutual p2p seeding.
+            let clique = snapshot.clique()?;
+            check_clique(&s.rels, &clique, &mut report);
+        }
+        Artifact::Inference(inf) => {
+            let sanitized = snapshot.sanitized()?;
+            let full = audit(
+                &inf.relationships,
+                Some(sanitized.as_ref()),
+                Some(inf.clique.as_slice()),
+                cfg,
+            );
+            report.findings.extend(full.findings);
+        }
+        Artifact::Cone(c) => {
+            let mut unsorted = 0usize;
+            let mut size_mismatch = 0usize;
+            for (asn, members) in c.iter_members() {
+                if members.windows(2).any(|w| w[0] >= w[1]) {
+                    unsorted += 1;
+                }
+                if c.size(asn).ases != members.len() {
+                    size_mismatch += 1;
+                }
+            }
+            if unsorted > 0 || size_mismatch > 0 {
+                report.push(
+                    Severity::Error,
+                    "cone-members",
+                    format!(
+                        "{unsorted} cone(s) with unsorted members, {size_mismatch} with size/member mismatch"
+                    ),
+                );
+            } else {
+                report.push(
+                    Severity::Info,
+                    "cone-members",
+                    format!(
+                        "{} cone(s): member lists sorted, sizes match membership",
+                        c.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    report
+        .findings
+        .sort_by(|a, b| (a.severity, a.check).cmp(&(b.severity, b.check)));
+    Ok(report)
 }
 
 /// Check 1: CSR adjacency built from the map must be sorted, deduped,

@@ -88,9 +88,14 @@ pub fn infer_clique(paths: &SanitizedPaths, degrees: &DegreeTable, cfg: &CliqueC
             return;
         }
         let s = score(clique);
-        if s > best_score {
+        // Equal-score ties go to the lexicographically smallest sorted
+        // index set, so the winner is independent of the order
+        // Bron-Kerbosch happens to enumerate maximal cliques in.
+        let mut members = clique.to_vec();
+        members.sort_unstable();
+        if s > best_score || (s == best_score && !best.is_empty() && members < best) {
             best_score = s;
-            best = clique.to_vec();
+            best = members;
         }
     });
 
@@ -117,12 +122,14 @@ fn bron_kerbosch(
         report(r);
         return;
     }
-    // Pivot: vertex in P ∪ X with the most neighbors in P.
+    // Pivot: vertex in P ∪ X with the most neighbors in P; ties broken
+    // toward the smallest vertex so the recursion shape never depends on
+    // hash-set iteration order.
     let pivot = p
         .iter()
         .chain(x.iter())
         .copied()
-        .max_by_key(|&u| adj[u].intersection(&p).count());
+        .max_by_key(|&u| (adj[u].intersection(&p).count(), std::cmp::Reverse(u)));
     let expand: Vec<usize> = match pivot {
         Some(u) => p.iter().copied().filter(|v| !adj[u].contains(v)).collect(),
         None => p.iter().copied().collect(),

@@ -41,6 +41,7 @@ pub mod cone;
 pub mod csr;
 pub mod degree;
 pub mod diff;
+pub mod engine;
 pub mod io;
 pub mod par;
 pub mod patharena;
@@ -58,9 +59,10 @@ pub use cone::{ConeSets, ConeSize, CustomerCones};
 pub use csr::{Adjacency, Csr};
 pub use degree::DegreeTable;
 pub use diff::{diff_relationships, ChangedLink, RelDiff};
+pub use engine::{Artifact, Snapshot, StageReport, StageStats};
 pub use io::{read_as_rel, write_as_rel, AsRelError};
 pub use patharena::PathArena;
-pub use pipeline::{infer, Inference, InferenceConfig, InferenceReport};
+pub use pipeline::{infer, infer_monolithic, try_infer, Inference, InferenceConfig, InferenceReport};
 pub use rank::{rank_ases, RankedAs};
 pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport, SanitizedPaths};
 pub use stability::{jackknife, LinkStability, StabilityReport};

@@ -12,11 +12,13 @@ use crate::degree::DegreeTable;
 use crate::patharena::PathArena;
 use crate::sanitize::{sanitize_with, SanitizeConfig, SanitizeReport};
 use asrank_types::prelude::*;
+use asrank_types::EngineError;
 use serde::{Deserialize, Serialize};
 
 /// Pipeline configuration. `Default` matches the paper's published
 /// parameters where known and conservative values elsewhere.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(default)]
 pub struct InferenceConfig {
     /// S1: sanitization (IXP ASN list).
     pub sanitize: SanitizeConfig,
@@ -54,30 +56,29 @@ pub struct Ablation {
     pub no_providerless: bool,
 }
 
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            sanitize: SanitizeConfig::default(),
+            clique: CliqueConfig::default(),
+            // The paper's published parameters: a first-hop neighbor must
+            // carry ≥ 35% of a VP's prefixes to be inferred its provider
+            // (S6), and a customer whose transit degree exceeds its
+            // provider's 10× triggers the S7 demotion.
+            vp_provider_threshold: 0.35,
+            degree_flip_ratio: 10.0,
+            ablation: Ablation::default(),
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
 impl InferenceConfig {
     /// Defaults plus a known IXP route-server ASN list.
     pub fn with_ixps<I: IntoIterator<Item = Asn>>(ixps: I) -> Self {
         InferenceConfig {
             sanitize: SanitizeConfig::with_ixps(ixps),
             ..Default::default()
-        }
-    }
-
-    /// Effective S6 threshold (default 0.35 when left at 0).
-    pub fn vp_threshold(&self) -> f64 {
-        if self.vp_provider_threshold > 0.0 {
-            self.vp_provider_threshold
-        } else {
-            0.35
-        }
-    }
-
-    /// Effective S7 ratio (default 10 when left at 0).
-    pub fn flip_ratio(&self) -> f64 {
-        if self.degree_flip_ratio > 0.0 {
-            self.degree_flip_ratio
-        } else {
-            10.0
         }
     }
 }
@@ -148,6 +149,24 @@ pub struct Inference {
 /// assert!(inference.relationships.is_c2p(Asn(10), Asn(1)));
 /// ```
 pub fn infer(paths: &PathSet, cfg: &InferenceConfig) -> Inference {
+    // lint: allow(panics, every stage body is total over sanitized input; only a RelationshipMap corrupting its own endpoint set can fail S11)
+    try_infer(paths, cfg).expect("inference stages are total over sanitized input")
+}
+
+/// [`infer`] with structured errors: drives the staged engine
+/// ([`crate::engine::Snapshot`]) and surfaces any stage failure as an
+/// [`EngineError`] instead of panicking.
+pub fn try_infer(paths: &PathSet, cfg: &InferenceConfig) -> Result<Inference, EngineError> {
+    let mut snapshot = crate::engine::Snapshot::new(paths, cfg.clone());
+    let inference = snapshot.inference()?;
+    Ok(Inference::clone(&inference))
+}
+
+/// The original single-call pipeline, kept as the reference
+/// implementation the staged engine is tested bit-identical against
+/// (see `tests/engine_equivalence.rs`). Prefer [`infer`] — it memoizes
+/// through the engine — for everything except equivalence oracles.
+pub fn infer_monolithic(paths: &PathSet, cfg: &InferenceConfig) -> Inference {
     // S1: sanitize.
     let sanitized = sanitize_with(paths, &cfg.sanitize, cfg.parallelism);
     let mut report = InferenceReport {

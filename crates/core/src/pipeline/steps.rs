@@ -139,7 +139,7 @@ fn is_poisoned(path: &AsPath, clique_set: &HashSet<Asn>) -> bool {
 
 /// [`is_poisoned`] over dense-id hops with a clique bitmask — the same
 /// clique / gap / clique scan, minus the hash probe per hop.
-fn is_poisoned_ids(hops: &[u32], clique_mask: &[bool]) -> bool {
+pub(crate) fn is_poisoned_ids(hops: &[u32], clique_mask: &[bool]) -> bool {
     let mut seen_clique = false;
     let mut gap_since_clique = false;
     for &id in hops {
@@ -231,7 +231,7 @@ pub fn infer_topdown(
 /// index yielded), `kept` masks out S4-discarded paths, and the visited
 /// set is a dense bitmask instead of a hashed `Asn` set. Agreement with
 /// the path-slice definition is pinned by unit test.
-fn infer_topdown_arena(
+pub(crate) fn infer_topdown_arena(
     arena: &PathArena,
     kept: &[bool],
     degrees: &DegreeTable,
@@ -322,7 +322,7 @@ pub fn infer_vp_providers(
             totals.entry(k).or_default().extend(set);
         }
     }
-    let threshold = cfg.vp_threshold();
+    let threshold = cfg.vp_provider_threshold;
     let mut candidates: Vec<(Asn, Asn)> = via.keys().copied().collect();
     candidates.sort();
     for (vp, w) in candidates {
@@ -350,7 +350,7 @@ pub fn repair_anomalies(
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    let ratio = cfg.flip_ratio();
+    let ratio = cfg.degree_flip_ratio;
     let offenders: Vec<(Asn, Asn)> = rels
         .c2p_pairs()
         .filter(|&(c, p)| {
@@ -379,7 +379,7 @@ pub fn infer_stub_clique(
 
 /// [`infer_stub_clique`] over a precomputed sorted link list (shared
 /// with S10 when running from the arena).
-fn stub_clique_over(
+pub(crate) fn stub_clique_over(
     links: &[AsLink],
     degrees: &DegreeTable,
     clique_set: &HashSet<Asn>,
@@ -460,7 +460,7 @@ pub fn infer_providerless(
 /// ascending ASN) order, so keeping the strictly-greatest count
 /// reproduces the old "max count, ties to lowest ASN" sort exactly.
 /// Agreement with the path-slice definition is pinned by unit test.
-fn infer_providerless_arena(
+pub(crate) fn infer_providerless_arena(
     arena: &PathArena,
     kept: &[bool],
     degrees: &DegreeTable,
@@ -559,7 +559,7 @@ pub fn assign_remaining_p2p(
 }
 
 /// [`assign_remaining_p2p`] over a precomputed sorted link list.
-fn remaining_p2p_over(links: &[AsLink], rels: &mut RelationshipMap, report: &mut InferenceReport) {
+pub(crate) fn remaining_p2p_over(links: &[AsLink], rels: &mut RelationshipMap, report: &mut InferenceReport) {
     for link in links {
         if rels.get(link.a, link.b).is_none() {
             rels.insert_p2p(link.a, link.b);
@@ -572,32 +572,35 @@ fn remaining_p2p_over(links: &[AsLink], rels: &mut RelationshipMap, report: &mut
 /// inference has none; every counted link is an inference error the
 /// validation framework will surface.
 pub fn audit_cycles(rels: &RelationshipMap) -> usize {
+    // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
+    try_audit_cycles(rels).expect("interner seeded from rels.ases covers every endpoint")
+}
+
+/// [`audit_cycles`] without the unreachable-panic shortcut: the engine's
+/// S11 stage propagates the error instead of aborting the process.
+pub(crate) fn try_audit_cycles(rels: &RelationshipMap) -> Result<usize, String> {
     // Dense ids over the c2p digraph, then exact SCCs: a link is on a
     // cycle iff both endpoints share a non-trivial component.
     let interner = AsnInterner::from_ases(rels.ases());
     let n = interner.len();
-    let edges: Vec<(u32, u32)> = rels
-        .c2p_pairs()
-        .map(|(c, p)| {
-            (
-                // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
-                interner.get(c).expect("interned"),
-                // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
-                interner.get(p).expect("interned"),
-            )
-        })
-        .collect();
+    let resolve = |a: Asn| {
+        interner
+            .get(a)
+            .ok_or_else(|| format!("relationship endpoint {a} missing from its own interner"))
+    };
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for (c, p) in rels.c2p_pairs() {
+        edges.push((resolve(c)?, resolve(p)?));
+    }
     let adj = crate::csr::Csr::from_edges(n, &edges);
     let scc = crate::scc::tarjan(n, &adj);
-    rels.c2p_pairs()
-        .filter(|&(c, p)| {
-            // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
-            let ci = interner.get(c).expect("interned") as usize;
-            // lint: allow(panics, interner seeded from rels.ases covers every endpoint)
-            let pi = interner.get(p).expect("interned") as usize;
-            scc.comp[ci] == scc.comp[pi] && scc.on_cycle(ci)
-        })
-        .count()
+    let mut on_cycle = 0usize;
+    for &(ci, pi) in &edges {
+        if scc.comp[ci as usize] == scc.comp[pi as usize] && scc.on_cycle(ci as usize) {
+            on_cycle += 1;
+        }
+    }
+    Ok(on_cycle)
 }
 
 /// Distinct links across a set of paths, in deterministic order.
@@ -617,7 +620,7 @@ fn observed_links(paths: &[AsPath]) -> Vec<AsLink> {
 /// (min, max) id pairs, sort + dedup. Ids ascend with ASN, so the
 /// resolved list comes out in the same `AsLink` order the hashed
 /// version sorted into.
-fn observed_links_arena(arena: &PathArena, kept: &[bool]) -> Vec<AsLink> {
+pub(crate) fn observed_links_arena(arena: &PathArena, kept: &[bool]) -> Vec<AsLink> {
     let interner = arena.interner();
     let mut packed: Vec<u64> = Vec::with_capacity(arena.total_hops());
     for p in 0..arena.len() {

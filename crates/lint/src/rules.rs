@@ -82,6 +82,7 @@ pub const RULES: [RuleInfo; 5] = [
 /// Files/prefixes where L001 (deterministic iteration) is enforced.
 /// Entries ending in `/` are prefixes; others are exact paths.
 const DETERMINISM_CRITICAL: &[&str] = &[
+    "crates/core/src/engine.rs",
     "crates/core/src/pipeline/",
     "crates/core/src/pipeline.rs",
     "crates/core/src/cone.rs",

@@ -24,6 +24,83 @@ impl fmt::Display for TypesError {
 
 impl std::error::Error for TypesError {}
 
+/// Structured failure of one stage of the inference engine.
+///
+/// The staged engine (`asrank-core::engine`) replaces panics on the
+/// inference path with this error: a malformed input fails the stage
+/// that detected it — loudly, with the stage named — instead of
+/// aborting the whole process. Variants carry owned strings so the
+/// error can outlive the engine that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A stage body rejected its input (the engine-path replacement for
+    /// a panic): `stage` names the DAG node, `detail` the violated
+    /// expectation.
+    StageFailed {
+        /// Name of the stage that failed (e.g. `s5_topdown`).
+        stage: String,
+        /// What the stage found wrong with its input.
+        detail: String,
+    },
+    /// A stage name that is not a node of the engine's DAG was requested
+    /// (e.g. a typo in `asrank audit --stage`).
+    UnknownStage(String),
+    /// The artifact store returned (or a stage was handed) an artifact of
+    /// the wrong type — an engine wiring bug, reported rather than
+    /// unwrapped.
+    ArtifactType {
+        /// Stage that requested the artifact.
+        stage: String,
+        /// Artifact kind the stage declared as input.
+        expected: String,
+        /// Artifact kind actually resolved.
+        got: String,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for [`EngineError::StageFailed`].
+    pub fn stage_failed(stage: &str, detail: impl Into<String>) -> Self {
+        EngineError::StageFailed {
+            stage: stage.to_string(),
+            detail: detail.into(),
+        }
+    }
+
+    /// Name of the stage this error is attributed to, when known.
+    pub fn stage(&self) -> Option<&str> {
+        match self {
+            EngineError::StageFailed { stage, .. } | EngineError::ArtifactType { stage, .. } => {
+                Some(stage)
+            }
+            EngineError::UnknownStage(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::StageFailed { stage, detail } => {
+                write!(f, "stage {stage} failed: {detail}")
+            }
+            EngineError::UnknownStage(name) => {
+                write!(f, "unknown engine stage {name:?}")
+            }
+            EngineError::ArtifactType {
+                stage,
+                expected,
+                got,
+            } => write!(
+                f,
+                "stage {stage} resolved an artifact of the wrong type: expected {expected}, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -36,5 +113,24 @@ mod tests {
         assert!(TypesError::InvalidPrefix("x".into())
             .to_string()
             .contains("\"x\""));
+    }
+
+    #[test]
+    fn engine_error_display_names_the_stage() {
+        let e = EngineError::stage_failed("s5_topdown", "offset out of range");
+        assert!(e.to_string().contains("s5_topdown"));
+        assert_eq!(e.stage(), Some("s5_topdown"));
+
+        let u = EngineError::UnknownStage("s99".into());
+        assert!(u.to_string().contains("s99"));
+        assert_eq!(u.stage(), None);
+
+        let t = EngineError::ArtifactType {
+            stage: "s2_degrees".into(),
+            expected: "sanitized".into(),
+            got: "clique".into(),
+        };
+        assert!(t.to_string().contains("expected sanitized"));
+        assert_eq!(t.stage(), Some("s2_degrees"));
     }
 }

@@ -40,7 +40,7 @@ pub use asn::{dense_id, Asn, AsnClass, AsnInterner};
 pub use bitset::BitSet;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::Parallelism;
-pub use error::TypesError;
+pub use error::{EngineError, TypesError};
 pub use graph::{AsClass, GroundTruth};
 pub use path::{AsPath, PathSample, PathSet};
 pub use prefix::Ipv4Prefix;
