@@ -5,11 +5,11 @@ CARGO ?= cargo
 # the workspace root, so a relative path would scatter the lines files.
 BENCH_LINES := $(CURDIR)/target/criterion-lines.json
 BENCH_OUT ?= BENCH.json
-# The four benches wired into the perf snapshot (the remaining benches —
+# The benches wired into the perf snapshot (the remaining benches —
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
-BENCHES := cones sanitize pipeline propagation
+BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold
 
-.PHONY: all build test test-engine lint audit verify bench bench-cones stage-report clean
+.PHONY: all build test test-engine lint audit verify bench bench-cones bench-ingest stage-report clean
 
 all: build
 
@@ -70,6 +70,18 @@ bench-cones:
 	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench cones
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR1.json
+
+# Ingest + cache benches only, gated: MRT decode MB/s (streaming reader
+# vs the parallel byte-range reader) and the warm-vs-cold full pipeline,
+# checked against the PR5 acceptance floors (parallel >= 2.0x at 4
+# threads, warm >= 5.0x over cold).
+bench-ingest:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench ingest
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench warm_vs_cold
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR5.json
 
 # Per-stage instrumentation over a generated scenario: wall time, item
 # counts, artifact sizes, and cache hit/miss counters for every engine

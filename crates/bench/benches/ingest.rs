@@ -1,0 +1,37 @@
+//! Bench: MRT RIB decode throughput, sequential streaming reader vs the
+//! parallel byte-range reader (`ingest` group — MB/s via the declared
+//! byte throughput).
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_types::prelude::Parallelism;
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrt_codec::{read_rib_dump, read_rib_dump_parallel, write_rib_dump};
+use std::hint::black_box;
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    for (name, factor) in [("1k", 1.0), ("2k", 2.0)] {
+        let topo = generate(&TopologyConfig::small().scaled(factor), 4);
+        let mut cfg = SimConfig::defaults(4);
+        cfg.vp_selection = VpSelection::Count(20);
+        let sim = simulate(&topo, &cfg);
+        let mut bytes = Vec::new();
+        write_rib_dump(&sim.paths, &mut bytes, 1_600_000_000).unwrap();
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+
+        group.bench_with_input(BenchmarkId::new("sequential", name), &bytes, |b, bytes| {
+            b.iter(|| black_box(read_rib_dump(&bytes[..]).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel4", name), &bytes, |b, bytes| {
+            b.iter(|| {
+                black_box(read_rib_dump_parallel(bytes, Parallelism::threads(4)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

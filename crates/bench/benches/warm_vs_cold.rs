@@ -1,0 +1,71 @@
+//! Bench: full-pipeline wall time, cold (decode the RIB + run every
+//! engine stage) vs warm (decoded path set and every stage artifact
+//! served from a populated `--cache-dir`).
+//!
+//! This is the repeat-run experience the persistent cache buys: the cold
+//! bench is what every invocation used to cost; the warm bench is the
+//! cost of a re-run over unchanged inputs.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_core::engine::Snapshot;
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::CacheDir;
+use asrank_types::checksum64;
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrt_codec::{read_rib_dump_parallel, write_rib_dump};
+use std::hint::black_box;
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warm_vs_cold");
+    group.sample_size(10);
+
+    let topo = generate(&TopologyConfig::small().scaled(2.0), 4);
+    let mut sim_cfg = SimConfig::defaults(4);
+    sim_cfg.vp_selection = VpSelection::Count(20);
+    let sim = simulate(&topo, &sim_cfg);
+    let mut bytes = Vec::new();
+    write_rib_dump(&sim.paths, &mut bytes, 1_600_000_000).unwrap();
+    let cfg = InferenceConfig::default();
+
+    // Cold: decode the dump and materialize every stage, no cache.
+    group.bench_with_input(BenchmarkId::new("cold", "2k"), &bytes, |b, bytes| {
+        b.iter(|| {
+            let paths = read_rib_dump_parallel(bytes, cfg.parallelism).unwrap();
+            let mut snap = Snapshot::new(&paths, cfg.clone());
+            black_box(snap.cones().unwrap());
+            black_box(snap.inference().unwrap());
+        })
+    });
+
+    // Warm: pre-populate the cache exactly as a first CLI run would
+    // (decoded path set keyed by file checksum + every stage artifact),
+    // then measure a fresh process-shaped run served entirely from disk.
+    let dir = std::env::temp_dir().join(format!("asrank_bench_warm_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = CacheDir::new(&dir);
+    let key = checksum64(&bytes);
+    let paths = read_rib_dump_parallel(&bytes, cfg.parallelism).unwrap();
+    assert!(cache.store_paths("rib_ingest", key, &paths));
+    {
+        let mut seed = Snapshot::new(&paths, cfg.clone()).with_cache_dir(&dir);
+        seed.cones().unwrap();
+        seed.inference().unwrap();
+    }
+
+    group.bench_with_input(BenchmarkId::new("warm", "2k"), &bytes, |b, bytes| {
+        b.iter(|| {
+            let cache = CacheDir::new(&dir);
+            let paths = cache.load_paths("rib_ingest", checksum64(bytes)).unwrap();
+            let mut snap = Snapshot::new(&paths, cfg.clone()).with_cache_dir(&dir);
+            black_box(snap.cones().unwrap());
+            black_box(snap.inference().unwrap());
+        })
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

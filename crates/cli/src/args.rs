@@ -1,29 +1,54 @@
 //! Tiny `--flag value` argument parser (no external dependencies).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed flags: every argument must be a `--name value` pair.
+/// Boolean switches accepted by every pipeline-running subcommand (they
+/// take no value, unlike ordinary `--name value` pairs).
+pub const CACHE_SWITCHES: &[&str] = &["no-cache"];
+
+/// Parsed flags: every argument must be a `--name value` pair, except
+/// for declared boolean switches, which stand alone.
 pub struct Flags {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Flags {
     /// Parse; prints an error and returns `None` on malformed input.
     pub fn parse(args: &[String]) -> Option<Flags> {
+        Self::parse_with_switches(args, &[])
+    }
+
+    /// Parse, treating each name in `switches` as a valueless boolean
+    /// flag; prints an error and returns `None` on malformed input.
+    pub fn parse_with_switches(args: &[String], switches: &[&str]) -> Option<Flags> {
         let mut values = HashMap::new();
+        let mut seen = HashSet::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
                 eprintln!("expected --flag, got {a:?}");
                 return None;
             };
+            if switches.contains(&name) {
+                seen.insert(name.to_string());
+                continue;
+            }
             let Some(v) = it.next() else {
                 eprintln!("flag --{name} is missing a value");
                 return None;
             };
             values.insert(name.to_string(), v.clone());
         }
-        Some(Flags { values })
+        Some(Flags {
+            values,
+            switches: seen,
+        })
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.contains(name)
     }
 
     /// Required string flag.
@@ -79,5 +104,19 @@ mod tests {
         assert!(Flags::parse(&sv(&["--dangling"])).is_none());
         let f = Flags::parse(&sv(&["--n", "abc"])).unwrap();
         assert_eq!(f.get_or::<u32>("n", 0), None);
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let f =
+            Flags::parse_with_switches(&sv(&["--no-cache", "--a", "1"]), &["no-cache"]).unwrap();
+        assert!(f.switch("no-cache"));
+        assert!(!f.switch("other"));
+        assert_eq!(f.get("a"), Some("1"));
+        // Without the declaration, the same input is a malformed pair.
+        assert!(Flags::parse(&sv(&["--no-cache"])).is_none());
+        // A switch at the end of the line needs no value either.
+        let f = Flags::parse_with_switches(&sv(&["--a", "1", "--no-cache"]), &["no-cache"]).unwrap();
+        assert!(f.switch("no-cache"));
     }
 }

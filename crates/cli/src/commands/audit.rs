@@ -12,13 +12,12 @@
 //! bisecting which pipeline stage first breaks an invariant without
 //! paying for the full inference.
 
-use crate::args::Flags;
-use crate::snapshot::load_inputs;
+use crate::args::{Flags, CACHE_SWITCHES};
+use crate::snapshot::{apply_cache_flags, load_inputs, load_rib};
 use asrank_core::audit::{audit, audit_stage, AuditConfig};
 use asrank_core::read_as_rel;
 use asrank_core::sanitize::{sanitize_with, SanitizeConfig};
 use asrank_types::{Asn, EngineError, Parallelism};
-use mrt_codec::read_rib_dump;
 
 /// Audit one engine stage artifact: shares the `--rib`/`--topo`/`--threads`
 /// loader with `infer` and `rank`, so a warm snapshot is graded without
@@ -57,7 +56,7 @@ fn run_stage(stage: &str, flags: &Flags) -> i32 {
 }
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
     if let Some(stage) = flags.get("stage") {
@@ -69,6 +68,7 @@ pub fn run(args: &[String]) -> i32 {
     let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
         return 2;
     };
+    apply_cache_flags(&flags);
 
     // Optional clique: comma-separated ASNs expected to be mutually p2p.
     // Parsed before any file IO so flag mistakes always exit 2.
@@ -106,23 +106,13 @@ pub fn run(args: &[String]) -> i32 {
 
     // Optional RIB: enables the valley-free checks over sanitized paths.
     let sanitized = match flags.get("rib") {
-        Some(rib) => {
-            let file = match std::fs::File::open(rib) {
-                Ok(f) => f,
-                Err(e) => {
-                    eprintln!("cannot open {rib}: {e}");
-                    return 1;
-                }
-            };
-            let paths = match read_rib_dump(std::io::BufReader::new(file)) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("failed reading MRT: {e}");
-                    return 1;
-                }
-            };
-            Some(sanitize_with(&paths, &SanitizeConfig::default(), threads))
-        }
+        Some(rib) => match load_rib(rib, threads) {
+            Ok(paths) => Some(sanitize_with(&paths, &SanitizeConfig::default(), threads)),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        },
         None => None,
     };
 

@@ -5,15 +5,16 @@
 //! staged engine before diffing, so `diff --old a.mrt --new b.mrt`
 //! compares two captures directly.
 
-use crate::args::Flags;
-use crate::snapshot::rels_from;
+use crate::args::{Flags, CACHE_SWITCHES};
+use crate::snapshot::{apply_cache_flags, rels_from};
 use asrank_core::diff_relationships;
 use asrank_types::Parallelism;
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
+    apply_cache_flags(&flags);
     let Some(old_path) = flags.required("old") else {
         return 2;
     };

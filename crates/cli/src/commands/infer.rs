@@ -5,12 +5,12 @@
 //! the deterministic stage-report JSON (wall time, item counts, artifact
 //! sizes, cache hits/misses) next to the normal output.
 
-use crate::args::Flags;
+use crate::args::{Flags, CACHE_SWITCHES};
 use crate::snapshot::load_inputs;
 use asrank_core::write_as_rel;
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
     let inputs = match load_inputs(&flags) {

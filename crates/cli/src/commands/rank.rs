@@ -7,12 +7,12 @@
 //! the store — the command no longer re-sanitizes the paths or computes
 //! the two observed cone flavors it never displayed.
 
-use crate::args::Flags;
+use crate::args::{Flags, CACHE_SWITCHES};
 use crate::snapshot::load_inputs;
 use asrank_core::rank_ases;
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
     let Some(top) = flags.get_or("top", 10usize) else {

@@ -6,13 +6,14 @@
 //! under the hood — every jackknife run gets the same memoized stage
 //! graph as the other pipeline commands.
 
-use crate::args::Flags;
-use crate::snapshot::load_rib;
+use crate::args::{Flags, CACHE_SWITCHES};
+use crate::snapshot::{apply_cache_flags, load_rib};
 use asrank_core::pipeline::InferenceConfig;
 use asrank_core::stability::jackknife;
+use asrank_types::Parallelism;
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
     let Some(rib) = flags.required("rib") else {
@@ -24,12 +25,22 @@ pub fn run(args: &[String]) -> i32 {
     let Some(seed) = flags.get_or("seed", 42u64) else {
         return 2;
     };
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
+    };
+    apply_cache_flags(&flags);
 
-    let Some(paths) = load_rib(rib) else {
-        return 1;
+    let paths = match load_rib(rib, threads) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
     };
 
-    let report = jackknife(&paths, &InferenceConfig::default(), subsamples, seed);
+    let mut cfg = InferenceConfig::default();
+    cfg.parallelism = threads;
+    let report = jackknife(&paths, &cfg, subsamples, seed);
     println!(
         "jackknife over {} half-VP subsamples: mean agreement {:.3}",
         report.subsamples,

@@ -5,8 +5,8 @@
 //! inferred through the staged engine, skipping the separate
 //! `infer --out` round trip.
 
-use crate::args::Flags;
-use crate::snapshot::rels_from;
+use crate::args::{Flags, CACHE_SWITCHES};
+use crate::snapshot::{apply_cache_flags, rels_from};
 use as_topology_gen::load_bundle;
 use asrank_types::Parallelism;
 use asrank_validation::{
@@ -15,9 +15,10 @@ use asrank_validation::{
 use std::path::PathBuf;
 
 pub fn run(args: &[String]) -> i32 {
-    let Some(flags) = Flags::parse(args) else {
+    let Some(flags) = Flags::parse_with_switches(args, CACHE_SWITCHES) else {
         return 2;
     };
+    apply_cache_flags(&flags);
     let Some(inferred_path) = flags.required("inferred") else {
         return 2;
     };

@@ -61,7 +61,7 @@ subcommands:
   audit      --stage NAME --rib FILE.mrt [--topo DIR] [--threads N|auto]
   validate   --inferred as-rel.txt|FILE.mrt --topo DIR [--corpus-seed N]
   rank       --rib FILE.mrt [--topo DIR] [--top N] [--threads N|auto]
-  stability  --rib FILE.mrt [--subsamples K] [--seed N]
+  stability  --rib FILE.mrt [--subsamples K] [--seed N] [--threads N|auto]
   depeer     --topo DIR [--a ASN --b ASN] [--vps N] [--seed N] [--out FILE.mrt]
   diff       --old as-rel.txt|FILE.mrt --new as-rel.txt|FILE.mrt [--show N]
   realism    --topo DIR
@@ -70,6 +70,13 @@ subcommands:
 --threads takes a worker count (1 = deterministic single-threaded order,
 which produces identical output to any other value) or \"auto\"/0 for all
 available cores.
+
+Every pipeline-running subcommand (infer, rank, validate, diff,
+stability, audit) also accepts [--cache-dir DIR] [--no-cache]:
+--cache-dir persists expensive artifacts (decoded RIBs, every engine
+stage) as checksummed binary files keyed by input content + config, so a
+warm re-run skips straight to the answer; --no-cache disables it.
+Corrupt or stale cache files are recomputed silently, never trusted.
 
 audit --stage materializes one memoized engine artifact and audits only
 it; NAME is one of s1_sanitize, s2_degrees, s3_clique, path_arena,

@@ -7,16 +7,30 @@
 //! [`LoadedInputs`] (paths + config + optional prefix table), the
 //! snapshot memoizes every stage, and commands pull exactly the
 //! artifacts they print.
+//!
+//! Caching: [`apply_cache_flags`] wires `--cache-dir`/`--no-cache` into
+//! the process-wide default cache directory
+//! ([`asrank_core::set_process_cache_dir`]), which every snapshot —
+//! including those built deep inside `pipeline::infer` and
+//! `stability::jackknife` — picks up automatically. [`load_rib`] keys a
+//! decoded-`PathSet` cache entry on the checksum of the raw file bytes,
+//! so a warm run skips MRT decoding entirely.
 
 use crate::args::Flags;
 use as_topology_gen::load_bundle;
 use asrank_core::engine::Snapshot;
 use asrank_core::pipeline::InferenceConfig;
-use asrank_core::read_as_rel;
-use asrank_types::{Asn, Ipv4Prefix, Parallelism, PathSet, RelationshipMap};
-use mrt_codec::read_rib_dump;
+use asrank_core::{read_as_rel, CacheDir};
+use asrank_types::{
+    checksum64, Asn, EngineError, Ipv4Prefix, Parallelism, PathSet, RelationshipMap,
+};
+use mrt_codec::read_rib_dump_parallel;
 use std::collections::HashMap;
 use std::path::PathBuf;
+
+/// Stage name under which decoded RIB path sets are cached (keyed by the
+/// checksum of the raw MRT bytes, not by any pipeline fingerprint).
+const RIB_INGEST_STAGE: &str = "rib_ingest";
 
 /// Everything a pipeline command needs to build a [`Snapshot`].
 pub struct LoadedInputs {
@@ -42,26 +56,44 @@ impl LoadedInputs {
     }
 }
 
-/// Decode one MRT RIB file into a path set. Prints the failure and
-/// returns `None` on error.
-pub fn load_rib(path: &str) -> Option<PathSet> {
-    let file = match std::fs::File::open(path) {
-        Ok(f) => f,
-        Err(e) => {
-            eprintln!("cannot open {path}: {e}");
-            return None;
-        }
+/// Wire `--cache-dir DIR` / `--no-cache` into the process-wide default
+/// cache directory consulted by every snapshot. `--no-cache` wins when
+/// both are given; with neither flag, caching stays off.
+pub fn apply_cache_flags(flags: &Flags) {
+    let dir = if flags.switch("no-cache") {
+        None
+    } else {
+        flags.get("cache-dir").map(PathBuf::from)
     };
-    match read_rib_dump(std::io::BufReader::new(file)) {
-        Ok(p) => Some(p),
-        Err(e) => {
-            eprintln!("failed reading MRT {path}: {e}");
-            None
-        }
-    }
+    asrank_core::set_process_cache_dir(dir);
 }
 
-/// Parse the shared `--rib` / `--topo` / `--threads` flags into
+/// Decode one MRT RIB file into a path set.
+///
+/// The file is read whole and the records decoded on the `threads`
+/// fan-out ([`read_rib_dump_parallel`] — byte-identical to the
+/// sequential reader). When a cache directory is active, the decoded
+/// path set is stored keyed by the checksum of the raw bytes; a warm run
+/// reads the file once and skips MRT decoding.
+pub fn load_rib(path: &str, threads: Parallelism) -> Result<PathSet, EngineError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| EngineError::ingest(path, e.to_string()))?;
+    let cache = asrank_core::process_cache_dir().map(CacheDir::new);
+    let key = cache.as_ref().map(|_| checksum64(&bytes));
+    if let (Some(cache), Some(key)) = (&cache, key) {
+        if let Some(paths) = cache.load_paths(RIB_INGEST_STAGE, key) {
+            return Ok(paths);
+        }
+    }
+    let paths = read_rib_dump_parallel(&bytes, threads)
+        .map_err(|e| EngineError::ingest(path, e.to_string()))?;
+    if let (Some(cache), Some(key)) = (&cache, key) {
+        cache.store_paths(RIB_INGEST_STAGE, key, &paths);
+    }
+    Ok(paths)
+}
+
+/// Parse the shared `--rib` / `--topo` / `--threads` / cache flags into
 /// [`LoadedInputs`]. On error, prints the failure and returns the
 /// process exit code (2 for flag mistakes, 1 for IO failures).
 pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
@@ -71,8 +103,13 @@ pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
     let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
         return Err(2);
     };
-    let Some(paths) = load_rib(rib) else {
-        return Err(1);
+    apply_cache_flags(flags);
+    let paths = match load_rib(rib, threads) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return Err(1);
+        }
     };
 
     let (mut cfg, prefixes) = match flags.get("topo") {
@@ -85,7 +122,7 @@ pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
                 )
             }
             Err(e) => {
-                eprintln!("failed to load bundle {dir}: {e}");
+                eprintln!("{}", EngineError::ingest(dir, e.to_string()));
                 return Err(1);
             }
         },
@@ -106,7 +143,13 @@ pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
 /// consume raw RIBs directly without a separate `infer --out` round trip.
 pub fn rels_from(path: &str, threads: Parallelism) -> Option<RelationshipMap> {
     if path.ends_with(".mrt") {
-        let paths = load_rib(path)?;
+        let paths = match load_rib(path, threads) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return None;
+            }
+        };
         let mut cfg = InferenceConfig::default();
         cfg.parallelism = threads;
         let mut snap = Snapshot::new(&paths, cfg);
@@ -121,14 +164,14 @@ pub fn rels_from(path: &str, threads: Parallelism) -> Option<RelationshipMap> {
     let file = match std::fs::File::open(path) {
         Ok(f) => f,
         Err(e) => {
-            eprintln!("cannot open {path}: {e}");
+            eprintln!("{}", EngineError::ingest(path, e.to_string()));
             return None;
         }
     };
     match read_as_rel(std::io::BufReader::new(file)) {
         Ok(r) => Some(r),
         Err(e) => {
-            eprintln!("failed parsing as-rel {path}: {e}");
+            eprintln!("{}", EngineError::ingest(path, e.to_string()));
             None
         }
     }

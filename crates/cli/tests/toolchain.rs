@@ -304,3 +304,111 @@ fn stability_runs_on_generated_data() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("mean agreement"));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn cache_dir_warm_run_matches_cold_and_no_cache_disables() {
+    let dir = tmp("cache");
+    let topo = dir.join("topo");
+    let rib = dir.join("rib.mrt");
+    let cache = dir.join("cache");
+    let cold_rel = dir.join("cold.txt");
+    let warm_rel = dir.join("warm.txt");
+    let plain_rel = dir.join("plain.txt");
+
+    for args in [
+        sv(&["generate", "--scale", "tiny", "--seed", "11", "--out", topo.to_str().unwrap()]),
+        sv(&["simulate", "--topo", topo.to_str().unwrap(), "--vps", "8", "--seed", "11", "--out", rib.to_str().unwrap()]),
+    ] {
+        assert!(bin().args(&args).status().unwrap().success());
+    }
+
+    // Cold run populates the cache directory.
+    let out = bin()
+        .args(sv(&[
+            "infer",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--out",
+            cold_rel.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("cold infer");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let entries = std::fs::read_dir(&cache).unwrap().count();
+    assert!(entries > 0, "cold run wrote no cache entries");
+
+    // Inference-relevant stdout: everything except the trailing
+    // "wrote N relationships to PATH" line (the path differs per run).
+    let inference_lines = |out: &[u8]| -> String {
+        String::from_utf8_lossy(out)
+            .lines()
+            .filter(|l| !l.starts_with("wrote"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+
+    // Warm run: same stdout, same as-rel bytes, nothing new computed.
+    let warm = bin()
+        .args(sv(&[
+            "infer",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--out",
+            warm_rel.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("warm infer");
+    assert!(warm.status.success());
+    assert_eq!(inference_lines(&out.stdout), inference_lines(&warm.stdout));
+    assert_eq!(
+        std::fs::read(&cold_rel).unwrap(),
+        std::fs::read(&warm_rel).unwrap()
+    );
+
+    // --no-cache wins over --cache-dir and still produces identical output.
+    let plain = bin()
+        .args(sv(&[
+            "infer",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--no-cache",
+            "--out",
+            plain_rel.to_str().unwrap(),
+        ]))
+        .output()
+        .expect("no-cache infer");
+    assert!(plain.status.success());
+    assert_eq!(inference_lines(&out.stdout), inference_lines(&plain.stdout));
+    assert_eq!(
+        std::fs::read(&cold_rel).unwrap(),
+        std::fs::read(&plain_rel).unwrap()
+    );
+
+    // A cached rank run over the same RIB shares the inference artifacts.
+    let ranked = bin()
+        .args(sv(&[
+            "rank",
+            "--rib",
+            rib.to_str().unwrap(),
+            "--cache-dir",
+            cache.to_str().unwrap(),
+            "--top",
+            "3",
+        ]))
+        .output()
+        .expect("cached rank");
+    assert!(ranked.status.success());
+    assert!(String::from_utf8_lossy(&ranked.stdout).contains("cone ASes"));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -254,6 +254,61 @@ impl CustomerCones {
             .max_by_key(|&(a, s)| (s.ases, std::cmp::Reverse(a)))
     }
 
+    /// Decompose into the raw columnar parts the persistent artifact
+    /// codec serializes: `(interner, set_of, members_flat, bounds,
+    /// sizes)`. Inverse of [`CustomerCones::from_raw_parts`].
+    pub fn raw_parts(&self) -> (&AsnInterner, &[u32], &[Asn], &[u32], &[ConeSize]) {
+        (
+            &self.interner,
+            &self.set_of,
+            &self.members_flat,
+            &self.bounds,
+            &self.sizes,
+        )
+    }
+
+    /// Reassemble cones from raw columnar parts, re-checking every
+    /// structural invariant the accessors index by (set ids in range,
+    /// bounds monotone and spanning the member arena). Returns `None`
+    /// for inconsistent parts — the codec treats that as a corrupt
+    /// cache file and recomputes.
+    pub fn from_raw_parts(
+        interner: AsnInterner,
+        set_of: Vec<u32>,
+        members_flat: Vec<Asn>,
+        bounds: Vec<u32>,
+        sizes: Vec<ConeSize>,
+    ) -> Option<CustomerCones> {
+        let sets = sizes.len();
+        if set_of.len() != interner.len() {
+            return None;
+        }
+        let trivially_empty = sets == 0 && bounds.len() <= 1 && members_flat.is_empty();
+        if bounds.len() != sets + 1 && !trivially_empty {
+            return None;
+        }
+        if let (Some(&first), Some(&last)) = (bounds.first(), bounds.last()) {
+            if first != 0 || last as usize != members_flat.len() {
+                return None;
+            }
+        } else if !members_flat.is_empty() {
+            return None;
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        if set_of.iter().any(|&s| (s as usize) >= sets) {
+            return None;
+        }
+        Some(CustomerCones {
+            interner,
+            set_of,
+            members_flat,
+            bounds,
+            sizes,
+        })
+    }
+
     /// **Recursive cone**: transitive closure of inferred p2c links.
     ///
     /// Cycles (inference errors) are collapsed first so the closure is

@@ -67,6 +67,33 @@ impl DegreeTable {
         }
     }
 
+    /// Rebuild a table from its canonical serialized form: one
+    /// `(asn, transit degree, node degree)` entry per observed AS, in
+    /// `ranked` order. The three internal collections share one key set
+    /// by construction, so this is a lossless inverse of walking
+    /// [`DegreeTable::ranked`] with the degree accessors — the persistent
+    /// artifact codec's decode path. The caller owns the ordering
+    /// invariant; only [`DegreeTable::compute`] establishes it from
+    /// scratch.
+    pub fn from_ranked_entries<I>(entries: I) -> Self
+    where
+        I: IntoIterator<Item = (Asn, usize, usize)>,
+    {
+        let mut transit = HashMap::new();
+        let mut node = HashMap::new();
+        let mut ranked = Vec::new();
+        for (asn, t, n) in entries {
+            transit.insert(asn, t);
+            node.insert(asn, n);
+            ranked.push(asn);
+        }
+        DegreeTable {
+            transit,
+            node,
+            ranked,
+        }
+    }
+
     /// Transit degree of `asn` (0 for unknown ASes).
     pub fn transit_degree(&self, asn: Asn) -> usize {
         self.transit.get(&asn).copied().unwrap_or(0)

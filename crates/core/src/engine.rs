@@ -167,6 +167,12 @@ pub struct StageStats {
     pub items: u64,
     /// Approximate bytes of the most recent output.
     pub bytes: u64,
+    /// Materialization requests answered from the persistent cache
+    /// (in-memory miss, `--cache-dir` frame decoded instead of running
+    /// the stage body).
+    pub disk_hits: u64,
+    /// Stage outputs spilled to the persistent cache.
+    pub disk_stores: u64,
 }
 
 /// Immutable per-snapshot environment handed to stage bodies.
@@ -756,6 +762,24 @@ impl ArtifactStore {
         }
         self.slots.insert((idx, fp), artifact.clone());
     }
+
+    /// An in-memory miss answered from the persistent cache: the loaded
+    /// artifact enters the store (so the next request is an ordinary
+    /// hit) without counting as a stage run.
+    fn record_disk_hit(&mut self, idx: usize, fp: u64, artifact: &Artifact) {
+        if let Some(stat) = self.stats.get_mut(idx) {
+            stat.disk_hits += 1;
+            stat.items = artifact.items();
+            stat.bytes = artifact.approx_bytes();
+        }
+        self.slots.insert((idx, fp), artifact.clone());
+    }
+
+    fn record_disk_store(&mut self, idx: usize) {
+        if let Some(stat) = self.stats.get_mut(idx) {
+            stat.disk_stores += 1;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -798,13 +822,23 @@ impl ArtifactStore {
 pub struct Snapshot<'a> {
     env: Env<'a>,
     store: ArtifactStore,
+    /// Optional persistent spill/load tier under a `--cache-dir`.
+    cache: Option<crate::persist::CacheDir>,
+    /// Content hash of `env.paths`, mixed into every on-disk key (the
+    /// in-memory fingerprints deliberately exclude path content, since
+    /// the store is bound to one dataset; a persistent key is not).
+    /// Computed once when a cache is attached, 0 otherwise.
+    content_fp: u64,
 }
 
 impl<'a> Snapshot<'a> {
     /// Bind a dataset and configuration into a fresh snapshot (empty
-    /// store).
+    /// store). When a process-wide cache directory has been set
+    /// ([`crate::persist::set_process_cache_dir`] — the CLI's
+    /// `--cache-dir`), the snapshot spills to and loads from it
+    /// automatically.
     pub fn new(paths: &'a PathSet, cfg: InferenceConfig) -> Self {
-        Snapshot {
+        let snapshot = Snapshot {
             env: Env {
                 paths,
                 cfg,
@@ -812,7 +846,37 @@ impl<'a> Snapshot<'a> {
                 prefix_fp: hash_prefixes(None),
             },
             store: ArtifactStore::new(),
+            cache: None,
+            content_fp: 0,
+        };
+        match crate::persist::process_cache_dir() {
+            Some(dir) => snapshot.with_cache_dir(dir),
+            None => snapshot,
         }
+    }
+
+    /// Attach a persistent artifact cache rooted at `dir`: stage outputs
+    /// spill to frame files there, and future snapshots over the same
+    /// paths + config load them back instead of running stage bodies.
+    /// Corrupt, truncated, or version-mismatched entries are silently
+    /// recomputed and rewritten.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = Some(crate::persist::CacheDir::new(dir));
+        self.content_fp = crate::persist::pathset_fingerprint(self.env.paths);
+        self
+    }
+
+    /// Detach the persistent cache (the CLI's `--no-cache`): the
+    /// snapshot keeps only its in-memory store.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self.content_fp = 0;
+        self
+    }
+
+    /// The attached persistent cache directory, if any.
+    pub fn cache_dir(&self) -> Option<&std::path::Path> {
+        self.cache.as_ref().map(|c| c.root())
     }
 
     /// Attach a per-AS prefix table (used by the cone stages to weight
@@ -852,6 +916,15 @@ impl<'a> Snapshot<'a> {
         h.finish()
     }
 
+    /// On-disk key for stage `idx` under fingerprint `fp`: the chained
+    /// config fingerprint extended with the dataset content hash.
+    fn disk_key(&self, fp: u64) -> u64 {
+        let mut h = FxHasher::default();
+        h.write_u64(self.content_fp);
+        h.write_u64(fp);
+        h.finish()
+    }
+
     fn materialize_idx(&mut self, idx: usize) -> Result<Artifact, EngineError> {
         let Some(spec) = STAGES.get(idx) else {
             return Err(EngineError::UnknownStage(format!("#{idx}")));
@@ -859,6 +932,15 @@ impl<'a> Snapshot<'a> {
         let fp = self.fingerprint(idx);
         if let Some(found) = self.store.lookup(idx, fp) {
             return Ok(found);
+        }
+        // Spill tier: an in-memory miss may still be answered from the
+        // persistent cache — the warm-process path that materializes a
+        // stage without touching any of its inputs.
+        if let (Some(cache), Some(tag)) = (&self.cache, crate::persist::tag_for_stage(spec.name)) {
+            if let Some(artifact) = cache.load(spec.name, self.disk_key(fp), tag) {
+                self.store.record_disk_hit(idx, fp, &artifact);
+                return Ok(artifact);
+            }
         }
         let mut inputs = Vec::with_capacity(spec.inputs.len());
         for &j in spec.inputs {
@@ -868,6 +950,11 @@ impl<'a> Snapshot<'a> {
         let artifact = (spec.run)(&self.env, &inputs)?;
         let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         self.store.record_run(idx, fp, wall_ns, &artifact);
+        if let Some(cache) = &self.cache {
+            if cache.store(spec.name, self.disk_key(fp), &artifact) {
+                self.store.record_disk_store(idx);
+            }
+        }
         Ok(artifact)
     }
 
@@ -1011,10 +1098,13 @@ impl StageReport {
         for (i, (name, s)) in self.stages.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"stage\": \"{name}\", \"runs\": {}, \"cache_hits\": {}, \
-                 \"cache_misses\": {}, \"wall_ns\": {}, \"items\": {}, \"bytes\": {}}}{}\n",
+                 \"cache_misses\": {}, \"disk_hits\": {}, \"disk_stores\": {}, \
+                 \"wall_ns\": {}, \"items\": {}, \"bytes\": {}}}{}\n",
                 s.runs,
                 s.hits,
                 s.misses,
+                s.disk_hits,
+                s.disk_stores,
                 s.wall_ns,
                 s.items,
                 s.bytes,
@@ -1025,13 +1115,16 @@ impl StageReport {
             t.runs += s.runs;
             t.hits += s.hits;
             t.misses += s.misses;
+            t.disk_hits += s.disk_hits;
+            t.disk_stores += s.disk_stores;
             t.wall_ns += s.wall_ns;
             t
         });
         out.push_str(&format!(
             "  ],\n  \"totals\": {{\"runs\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
-             \"wall_ns\": {}}}\n}}\n",
-            totals.runs, totals.hits, totals.misses, totals.wall_ns
+             \"disk_hits\": {}, \"disk_stores\": {}, \"wall_ns\": {}}}\n}}\n",
+            totals.runs, totals.hits, totals.misses, totals.disk_hits, totals.disk_stores,
+            totals.wall_ns
         ));
         out
     }

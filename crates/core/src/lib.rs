@@ -45,6 +45,7 @@ pub mod engine;
 pub mod io;
 pub mod par;
 pub mod patharena;
+pub mod persist;
 pub mod pipeline;
 pub mod rank;
 pub mod sanitize;
@@ -62,6 +63,10 @@ pub use diff::{diff_relationships, ChangedLink, RelDiff};
 pub use engine::{Artifact, Snapshot, StageReport, StageStats};
 pub use io::{read_as_rel, write_as_rel, AsRelError};
 pub use patharena::PathArena;
+pub use persist::{
+    decode_artifact, encode_artifact, pathset_fingerprint, process_cache_dir,
+    set_process_cache_dir, CacheDir,
+};
 pub use pipeline::{infer, infer_monolithic, try_infer, Inference, InferenceConfig, InferenceReport};
 pub use rank::{rank_ases, RankedAs};
 pub use sanitize::{sanitize, SanitizeConfig, SanitizeReport, SanitizedPaths};

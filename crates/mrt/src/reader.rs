@@ -5,6 +5,14 @@ use crate::record::MrtRecord;
 use crate::wire::Cursor;
 use std::io::Read;
 
+/// Default cap on a record's declared body length (64 MiB). Shared by the
+/// streaming reader and the parallel frame scanner
+/// ([`crate::scan::scan_record_frames`]): a declared length above this is
+/// rejected as malformed rather than trusted to size a buffer — the
+/// guard against both unbounded allocation and offset-arithmetic
+/// overflow in the chunk scanner.
+pub const DEFAULT_MAX_RECORD_LEN: u32 = 64 << 20;
+
 /// Reads MRT records one at a time from an underlying stream.
 ///
 /// The reader buffers exactly one record at a time (header first, then the
@@ -24,7 +32,7 @@ impl<R: Read> MrtReader<R> {
     pub fn new(inner: R) -> Self {
         MrtReader {
             inner,
-            max_record_len: 64 << 20,
+            max_record_len: DEFAULT_MAX_RECORD_LEN,
         }
     }
 
@@ -52,7 +60,17 @@ impl<R: Read> MrtReader<R> {
                 value: len as usize,
             });
         }
-        let mut buf = vec![0u8; 12 + len as usize];
+        // Checked header+body total: on 32-bit targets a length close to
+        // u32::MAX would wrap `12 + len` even below a (misconfigured)
+        // max_record_len.
+        let total = usize::try_from(len)
+            .ok()
+            .and_then(|n| n.checked_add(12))
+            .ok_or(MrtError::BadLength {
+                context: "mrt record length (overflows record extent)",
+                value: len as usize,
+            })?;
+        let mut buf = vec![0u8; total];
         buf[..12].copy_from_slice(&header);
         self.inner.read_exact(&mut buf[12..]).map_err(|e| {
             if e.kind() == std::io::ErrorKind::UnexpectedEof {

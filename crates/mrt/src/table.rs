@@ -130,55 +130,69 @@ pub fn read_rib_dump<R: Read>(input: R) -> Result<PathSet, MrtError> {
     let mut paths = PathSet::new();
 
     while let Some((_ts, record)) = reader.next_record()? {
-        match record {
-            MrtRecord::PeerIndexTable(t) => {
-                peers = t.peers.iter().map(|p| p.asn).collect();
-            }
-            MrtRecord::RibIpv4Unicast(rib) => {
-                for entry in &rib.entries {
-                    let Some(&vp) = peers.get(entry.peer_index as usize) else {
-                        return Err(MrtError::BadValue {
-                            context: "rib peer index (no matching peer table entry)",
-                            value: entry.peer_index as u64,
-                        });
-                    };
-                    let Some(path) = entry
-                        .attributes
-                        .iter()
-                        .find_map(PathAttribute::flatten_as_path)
-                    else {
-                        continue; // entry without AS_PATH carries no evidence
-                    };
-                    paths.push(PathSample {
-                        vp,
-                        prefix: rib.prefix,
-                        path,
+        ingest_rib_record(record, &mut peers, &mut paths)?;
+    }
+    Ok(paths)
+}
+
+/// Fold one decoded record into the accumulating path set — the single
+/// semantic definition of RIB ingest, shared verbatim by the sequential
+/// stream reader above and the parallel byte-range reader
+/// ([`crate::scan::read_rib_dump_parallel`]), which is what guarantees
+/// the two produce identical output.
+pub(crate) fn ingest_rib_record(
+    record: MrtRecord,
+    peers: &mut Vec<Asn>,
+    paths: &mut PathSet,
+) -> Result<(), MrtError> {
+    match record {
+        MrtRecord::PeerIndexTable(t) => {
+            *peers = t.peers.iter().map(|p| p.asn).collect();
+        }
+        MrtRecord::RibIpv4Unicast(rib) => {
+            for entry in &rib.entries {
+                let Some(&vp) = peers.get(entry.peer_index as usize) else {
+                    return Err(MrtError::BadValue {
+                        context: "rib peer index (no matching peer table entry)",
+                        value: entry.peer_index as u64,
                     });
-                }
-            }
-            // Legacy v1 records carry the peer ASN inline — no peer
-            // table needed.
-            MrtRecord::TableDumpV1(td) => {
-                if let Some(path) = td
+                };
+                let Some(path) = entry
                     .attributes
                     .iter()
                     .find_map(PathAttribute::flatten_as_path)
-                {
-                    paths.push(PathSample {
-                        vp: td.peer_asn,
-                        prefix: td.prefix,
-                        path,
-                    });
-                }
+                else {
+                    continue; // entry without AS_PATH carries no evidence
+                };
+                paths.push(PathSample {
+                    vp,
+                    prefix: rib.prefix,
+                    path,
+                });
             }
-            // v6 RIBs, updates, and unknown records are legal in mixed
-            // dumps but do not contribute to the IPv4 path set.
-            MrtRecord::RibIpv6Unicast(_)
-            | MrtRecord::Bgp4mpMessageAs4(_)
-            | MrtRecord::Unknown { .. } => {}
         }
+        // Legacy v1 records carry the peer ASN inline — no peer
+        // table needed.
+        MrtRecord::TableDumpV1(td) => {
+            if let Some(path) = td
+                .attributes
+                .iter()
+                .find_map(PathAttribute::flatten_as_path)
+            {
+                paths.push(PathSample {
+                    vp: td.peer_asn,
+                    prefix: td.prefix,
+                    path,
+                });
+            }
+        }
+        // v6 RIBs, updates, and unknown records are legal in mixed
+        // dumps but do not contribute to the IPv4 path set.
+        MrtRecord::RibIpv6Unicast(_)
+        | MrtRecord::Bgp4mpMessageAs4(_)
+        | MrtRecord::Unknown { .. } => {}
     }
-    Ok(paths)
+    Ok(())
 }
 
 #[cfg(test)]

@@ -56,6 +56,16 @@ pub enum EngineError {
         /// Artifact kind actually resolved.
         got: String,
     },
+    /// Input ingest failed before any stage could run: the named source
+    /// file could not be read or decoded. This is the typed replacement
+    /// for the CLI's old `eprintln!` + `Option` loader path, so MRT and
+    /// relationship-file failures carry the offending path and reason.
+    Ingest {
+        /// Path of the input file that failed to load.
+        source: String,
+        /// Why it failed (I/O error or decode error text).
+        detail: String,
+    },
 }
 
 impl EngineError {
@@ -67,13 +77,21 @@ impl EngineError {
         }
     }
 
+    /// Convenience constructor for [`EngineError::Ingest`].
+    pub fn ingest(source: impl Into<String>, detail: impl Into<String>) -> Self {
+        EngineError::Ingest {
+            source: source.into(),
+            detail: detail.into(),
+        }
+    }
+
     /// Name of the stage this error is attributed to, when known.
     pub fn stage(&self) -> Option<&str> {
         match self {
             EngineError::StageFailed { stage, .. } | EngineError::ArtifactType { stage, .. } => {
                 Some(stage)
             }
-            EngineError::UnknownStage(_) => None,
+            EngineError::UnknownStage(_) | EngineError::Ingest { .. } => None,
         }
     }
 }
@@ -95,6 +113,9 @@ impl fmt::Display for EngineError {
                 f,
                 "stage {stage} resolved an artifact of the wrong type: expected {expected}, got {got}"
             ),
+            EngineError::Ingest { source, detail } => {
+                write!(f, "cannot load {source}: {detail}")
+            }
         }
     }
 }
@@ -132,5 +153,10 @@ mod tests {
         };
         assert!(t.to_string().contains("expected sanitized"));
         assert_eq!(t.stage(), Some("s2_degrees"));
+
+        let i = EngineError::ingest("rib.mrt", "truncated header");
+        assert!(i.to_string().contains("rib.mrt"));
+        assert!(i.to_string().contains("truncated header"));
+        assert_eq!(i.stage(), None);
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod asn;
 pub mod bitset;
+pub mod codec;
 pub mod error;
 pub mod fxhash;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod update;
 
 pub use asn::{dense_id, Asn, AsnClass, AsnInterner};
 pub use bitset::BitSet;
+pub use codec::{checksum64, CodecError, Decoder, Encoder, CODEC_MAGIC, CODEC_VERSION};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::Parallelism;
 pub use error::{EngineError, TypesError};
