@@ -7,9 +7,9 @@ BENCH_LINES := $(CURDIR)/target/criterion-lines.json
 BENCH_OUT ?= BENCH.json
 # The benches wired into the perf snapshot (the remaining benches —
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
-BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold
+BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve
 
-.PHONY: all build test test-engine lint audit verify bench bench-cones bench-ingest stage-report clean
+.PHONY: all build test test-engine lint audit verify bench bench-cones bench-ingest bench-serve serve-smoke stage-report clean
 
 all: build
 
@@ -82,6 +82,41 @@ bench-ingest:
 	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench warm_vs_cold
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR5.json
+
+# Serve-tier bench only, gated: zero-copy mapped query rates vs the
+# owned-decode baselines plus the mapped-vs-owned peak-RSS comparison,
+# checked against the PR6 acceptance floors (>=1M relationship
+# lookups/s, >=500k cone-membership checks/s on one core, mapped peak
+# RSS never above owned).
+bench-serve:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench serve
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR6.json
+
+# End-to-end smoke of the serve tier: warm a cache with the CLI
+# (generate -> simulate -> infer --cache-dir), start `asrank serve`,
+# drive a query batch through `asrank query --connect`, and cross-check
+# the daemon's relationship answers against the as-rel file `infer`
+# wrote from the very same cache. The daemon is always killed.
+serve-smoke: build
+	@tmp=$$(mktemp -d); rc=1; \
+	./target/release/asrank generate --scale tiny --seed 7 --out $$tmp/topo && \
+	./target/release/asrank simulate --topo $$tmp/topo --vps 8 --seed 7 --out $$tmp/rib.mrt && \
+	./target/release/asrank infer --rib $$tmp/rib.mrt --cache-dir $$tmp/cache --out $$tmp/as-rel.txt && \
+	{ ./target/release/asrank serve --rib $$tmp/rib.mrt --cache-dir $$tmp/cache --port 46464 --poll-ms 0 & \
+	  srv=$$!; sleep 1; \
+	  awk -F'|' '/^\#/ { next } { print "rel", $$1, $$2 }' $$tmp/as-rel.txt > $$tmp/queries.txt; \
+	  awk -F'|' '/^\#/ { next } $$3 == -1 { print "customer" } $$3 == 0 { print "peer" } $$3 == 2 { print "sibling" }' $$tmp/as-rel.txt > $$tmp/expect.txt; \
+	  ./target/release/asrank query --connect 127.0.0.1:46464 < $$tmp/queries.txt > $$tmp/got.txt; \
+	  qrc=$$?; kill $$srv 2>/dev/null; wait $$srv 2>/dev/null; \
+	  if [ $$qrc -eq 0 ] && [ -s $$tmp/expect.txt ] && cmp -s $$tmp/expect.txt $$tmp/got.txt; then \
+	    echo "serve-smoke: $$(wc -l < $$tmp/got.txt) daemon answers match as-rel.txt"; rc=0; \
+	  else \
+	    echo "serve-smoke: FAIL (query rc=$$qrc)"; diff $$tmp/expect.txt $$tmp/got.txt | head; rc=1; \
+	  fi; }; \
+	rm -rf $$tmp; exit $$rc
 
 # Per-stage instrumentation over a generated scenario: wall time, item
 # counts, artifact sizes, and cache hit/miss counters for every engine

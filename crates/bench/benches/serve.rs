@@ -1,0 +1,257 @@
+//! Bench: the serve tier's zero-copy read path against owned-decode
+//! baselines, plus the peak-RSS comparison the PR6 acceptance records.
+//!
+//! Rates (gated by `make bench-serve` via the derived
+//! `serve_rel_mlookups_per_s` / `serve_cone_mchecks_per_s` families):
+//!
+//! * `rel_lookup` / `cone_contains` — binary searches straight over the
+//!   memory-mapped frames ([`asrank_serve::ServeSnapshot`]);
+//! * `rel_lookup_owned` / `cone_contains_owned` — the same query mix
+//!   over fully decoded owned structures (`RelationshipMap`,
+//!   `CustomerCones`), what a caller paid before the serve tier.
+//!
+//! Peak RSS: `VmHWM` is a per-process high-water mark, so the mapped
+//! and owned loads are measured in separate child processes (the bench
+//! re-execs itself with `ASRANK_SERVE_RSS_MODE` set) and emitted as
+//! `serve_rss` JSON lines for the snapshot document.
+
+use as_topology_gen::{generate, TopologyConfig};
+use asrank_bench::rss::peak_rss_kb;
+use asrank_core::engine::Snapshot;
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::{CacheDir, CustomerCones};
+use asrank_serve::{ConeFlavor, ServeSnapshot, SourceSpec};
+use asrank_types::{checksum64, Asn, RelationshipMap};
+use bgp_sim::{simulate, SimConfig, VpSelection};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mrt_codec::{read_rib_dump_parallel, write_rib_dump};
+use std::hint::black_box;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Child-process entry for the RSS comparison. `cargo bench` runs one
+/// process per bench binary; when the RSS env vars are present this
+/// process instead loads ONE variant over an already-warm cache, prints
+/// its `VmHWM`, and exits before any benchmark group runs.
+fn rss_child_mode_if_requested() {
+    let Ok(mode) = std::env::var("ASRANK_SERVE_RSS_MODE") else {
+        return;
+    };
+    let rib = PathBuf::from(std::env::var("ASRANK_SERVE_RSS_RIB").unwrap_or_default());
+    let cache_root = PathBuf::from(std::env::var("ASRANK_SERVE_RSS_CACHE").unwrap_or_default());
+    let cfg = InferenceConfig::default();
+    match mode.as_str() {
+        "mapped" => {
+            let spec = SourceSpec {
+                rib,
+                cache_root,
+                cfg,
+                prefixes: None,
+            };
+            let snap = ServeSnapshot::load(&spec, 1).expect("rss child: serve load");
+            // Touch the read path so the mapped pages it needs are
+            // actually resident, not just reserved.
+            let mut hits = 0u64;
+            for asn in 1..=4096u32 {
+                hits += u64::from(snap.rank(Asn(asn)).is_some());
+                hits += snap.degree(Asn(asn)).0;
+            }
+            black_box(hits);
+        }
+        "owned" => {
+            let bytes = std::fs::read(&rib).expect("rss child: read rib");
+            let cache = CacheDir::new(&cache_root);
+            let paths = cache
+                .load_paths("rib_ingest", checksum64(&bytes))
+                .expect("rss child: cached path set");
+            let mut snap = Snapshot::new(&paths, cfg).with_cache_dir(&cache_root);
+            black_box(snap.inference().expect("rss child: inference"));
+            black_box(snap.cones().expect("rss child: cones"));
+        }
+        other => {
+            eprintln!("unknown ASRANK_SERVE_RSS_MODE {other:?}");
+            std::process::exit(2);
+        }
+    }
+    println!("rss_kb={}", peak_rss_kb().unwrap_or(0));
+    std::process::exit(0);
+}
+
+struct Fixture {
+    dir: PathBuf,
+    spec: SourceSpec,
+    serve: ServeSnapshot,
+    rels: RelationshipMap,
+    cone: Arc<CustomerCones>,
+    rel_queries: Vec<(Asn, Asn)>,
+    cone_queries: Vec<(Asn, Asn)>,
+}
+
+/// Generate the 2k-AS scenario, warm a cache exactly as
+/// `asrank infer --cache-dir` would, and load both the mapped serve
+/// snapshot and the owned baselines over it.
+fn build_fixture() -> Fixture {
+    let topo = generate(&TopologyConfig::small().scaled(2.0), 4);
+    let mut sim_cfg = SimConfig::defaults(4);
+    sim_cfg.vp_selection = VpSelection::Count(20);
+    let sim = simulate(&topo, &sim_cfg);
+    let mut bytes = Vec::new();
+    write_rib_dump(&sim.paths, &mut bytes, 1_600_000_000).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("asrank_bench_serve_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let rib = dir.join("rib.mrt");
+    std::fs::write(&rib, &bytes).unwrap();
+    let cache_root = dir.join("cache");
+
+    let cfg = InferenceConfig::default();
+    let cache = CacheDir::new(&cache_root);
+    let paths = read_rib_dump_parallel(&bytes, cfg.parallelism).unwrap();
+    assert!(cache.store_paths("rib_ingest", checksum64(&bytes), &paths));
+    let (rels, cone) = {
+        let mut seed = Snapshot::new(&paths, cfg.clone()).with_cache_dir(&cache_root);
+        let rels = seed.inference().unwrap().relationships.clone();
+        seed.cones().unwrap();
+        (rels, seed.recursive_cone().unwrap())
+    };
+
+    let spec = SourceSpec {
+        rib,
+        cache_root,
+        cfg,
+        prefixes: None,
+    };
+    let serve = ServeSnapshot::load(&spec, 1).unwrap();
+
+    // Deterministic query mixes: every classified link in both orders
+    // (hits), interleaved with guaranteed misses, cycled up to a fixed
+    // batch size so the throughput element count is stable.
+    let links: Vec<(Asn, Asn)> = rels.iter().map(|(l, _)| (l.a, l.b)).collect();
+    let mut rel_queries = Vec::with_capacity(4096);
+    for (i, &(a, b)) in links.iter().cycle().take(2048).enumerate() {
+        rel_queries.push(if i % 2 == 0 { (a, b) } else { (b, a) });
+        rel_queries.push((a, Asn(b.0.wrapping_add(1_000_000))));
+    }
+
+    let ases: Vec<Asn> = rels.ases().collect();
+    let mut cone_queries = Vec::with_capacity(4096);
+    for i in 0..4096usize {
+        let x = ases[i % ases.len()];
+        let y = ases[(i * 7 + 3) % ases.len()];
+        cone_queries.push((x, y));
+    }
+
+    Fixture {
+        dir,
+        spec,
+        serve,
+        rels,
+        cone,
+        rel_queries,
+        cone_queries,
+    }
+}
+
+/// Fork the bench binary once per RSS variant and collect `VmHWM`.
+fn measure_rss(fx: &Fixture) -> Option<(u64, u64)> {
+    let exe = std::env::current_exe().ok()?;
+    let run = |mode: &str| -> Option<u64> {
+        let out = std::process::Command::new(&exe)
+            .env("ASRANK_SERVE_RSS_MODE", mode)
+            .env("ASRANK_SERVE_RSS_RIB", &fx.spec.rib)
+            .env("ASRANK_SERVE_RSS_CACHE", &fx.spec.cache_root)
+            .env_remove("CRITERION_JSON")
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            eprintln!(
+                "serve_rss child ({mode}) failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            return None;
+        }
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find_map(|l| l.strip_prefix("rss_kb=")?.trim().parse().ok())
+            .filter(|&kb| kb > 0)
+    };
+    Some((run("mapped")?, run("owned")?))
+}
+
+/// Record the RSS pair both to stdout and — when `CRITERION_JSON` is set
+/// — as extra snapshot lines (`rss_kb` instead of `median_ns`; the
+/// report binary's derived pass reads them by field name).
+fn report_rss(mapped_kb: u64, owned_kb: u64) {
+    println!(
+        "serve_rss: mapped {mapped_kb} kB, owned {owned_kb} kB ({:.2}x)",
+        owned_kb as f64 / mapped_kb as f64
+    );
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
+        return;
+    };
+    let _ = writeln!(fh, r#"{{"group":"serve_rss","bench":"mapped/2k","rss_kb":{mapped_kb}}}"#);
+    let _ = writeln!(fh, r#"{{"group":"serve_rss","bench":"owned/2k","rss_kb":{owned_kb}}}"#);
+}
+
+fn bench_serve(c: &mut Criterion) {
+    rss_child_mode_if_requested();
+    let fx = build_fixture();
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(fx.rel_queries.len() as u64));
+    group.bench_function(BenchmarkId::new("rel_lookup", "2k"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(x, y) in &fx.rel_queries {
+                hits += u64::from(fx.serve.rel(x, y).is_some());
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function(BenchmarkId::new("rel_lookup_owned", "2k"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(x, y) in &fx.rel_queries {
+                hits += u64::from(fx.rels.get(x, y).is_some());
+            }
+            black_box(hits)
+        })
+    });
+
+    group.throughput(Throughput::Elements(fx.cone_queries.len() as u64));
+    group.bench_function(BenchmarkId::new("cone_contains", "2k"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(x, y) in &fx.cone_queries {
+                hits += u64::from(fx.serve.cone_contains(ConeFlavor::Recursive, x, y));
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function(BenchmarkId::new("cone_contains_owned", "2k"), |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &(x, y) in &fx.cone_queries {
+                hits += u64::from(fx.cone.contains(x, y));
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+
+    if let Some((mapped_kb, owned_kb)) = measure_rss(&fx) {
+        report_rss(mapped_kb, owned_kb);
+    }
+
+    let _ = std::fs::remove_dir_all(&fx.dir);
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

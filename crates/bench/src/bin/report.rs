@@ -140,6 +140,50 @@ fn bench_json(input: &str, output: &str) -> i32 {
         }
     }
 
+    // PR6 serve-tier acceptance: absolute query rates over the mapped
+    // frames (M-ops/s, derived from element throughput / median ns —
+    // not a speedup, but gated through the same derived machinery), and
+    // the peak-RSS ratio of the owned-decode load over the mapped one
+    // (both measured in their own child process, `benches/serve.rs`).
+    let field = |group: &str, bench: &str, key: &str| -> Option<f64> {
+        lines.iter().find_map(|l| {
+            (json_str(l, "group").as_deref() == Some(group)
+                && json_str(l, "bench").as_deref() == Some(bench))
+            .then(|| json_num(l, key))
+            .flatten()
+        })
+    };
+    for (family, bench) in [
+        ("serve_rel_mlookups_per_s", "rel_lookup/2k"),
+        ("serve_cone_mchecks_per_s", "cone_contains/2k"),
+    ] {
+        if let (Some(med), Some(elems)) = (
+            field("serve", bench, "median_ns"),
+            field("serve", bench, "throughput_elems"),
+        ) {
+            if med > 0.0 {
+                // elems/iter over ns/iter is G-ops/s; x1000 -> M-ops/s.
+                ratios.push(format!(
+                    "{{\"name\":\"{family}/2k\",\
+                     \"baseline\":\"wall_clock\",\"ratio\":{:.2}}}",
+                    elems / med * 1000.0
+                ));
+            }
+        }
+    }
+    if let (Some(owned), Some(mapped)) = (
+        field("serve_rss", "owned/2k", "rss_kb"),
+        field("serve_rss", "mapped/2k", "rss_kb"),
+    ) {
+        if mapped > 0.0 {
+            ratios.push(format!(
+                "{{\"name\":\"serve_rss_owned_over_mapped/2k\",\
+                 \"baseline\":\"mapped\",\"ratio\":{:.2}}}",
+                owned / mapped
+            ));
+        }
+    }
+
     // Recorded so bench-check can judge thread-scaling floors against
     // what the measuring host could physically deliver.
     let host_cpus = std::thread::available_parallelism()
@@ -225,6 +269,13 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
         ("recursive_cone_speedup", 4.0),
         ("ingest_parallel_speedup", 2.0),
         ("warm_vs_cold_speedup", 5.0),
+        // Serve-tier absolute rates in M-ops/s on one core (the PR6
+        // targets: >=1M relationship lookups/s, >=500k cone checks/s),
+        // plus "mapping the frames never costs more peak RSS than
+        // decoding them".
+        ("serve_rel_mlookups_per_s", 1.0),
+        ("serve_cone_mchecks_per_s", 0.5),
+        ("serve_rss_owned_over_mapped", 1.0),
     ];
     /// The ingest floor asserts 2x thread scaling at 4 decode workers.
     /// A host with fewer cores than that cannot physically show it (the
@@ -233,6 +284,12 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
     /// against the streaming reader" — still a real gate, honestly
     /// scoped to what the machine can measure.
     const SINGLE_CORE_INGEST_FLOOR: f64 = 0.9;
+    /// The serve rate floors assume one reasonably provisioned core to
+    /// itself. On a host with fewer than 4 cores (the same boundary the
+    /// ingest floor uses) the bench shares its core with the OS and the
+    /// sibling child processes, so the absolute-rate floors halve —
+    /// still asserting the zero-copy path is in the right decade.
+    const SMALL_HOST_SERVE_RATE_SCALE: f64 = 0.5;
     let (new, base) = match (derived_ratios(new_path), derived_ratios(baseline_path)) {
         (Ok(n), Ok(b)) => (n, b),
         (Err(e), _) | (_, Err(e)) => {
@@ -272,6 +329,18 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
                  relaxed to {SINGLE_CORE_INGEST_FLOOR:.1}x (no-regression)"
             );
             SINGLE_CORE_INGEST_FLOOR
+        } else if host_cpus < 4
+            && matches!(
+                family,
+                "serve_rel_mlookups_per_s" | "serve_cone_mchecks_per_s"
+            )
+        {
+            let relaxed = floor * SMALL_HOST_SERVE_RATE_SCALE;
+            println!(
+                "bench-check: host has {host_cpus} cpu(s); {family} floor \
+                 relaxed to {relaxed:.2} M-ops/s (shared-host margin)"
+            );
+            relaxed
         } else {
             floor
         };

@@ -1,0 +1,49 @@
+//! Peak-RSS measurement for the benchmark snapshots.
+//!
+//! Linux keeps a per-process resident-set high-water mark (`VmHWM` in
+//! `/proc/self/status`), which is exactly the "how much memory did this
+//! run ever need" number the serve-tier acceptance records: a process
+//! that memory-maps the cached frames should peak far below one that
+//! decodes them into owned structures. The mark is monotone for the
+//! lifetime of a process, so comparative measurements must come from
+//! separate processes — `benches/serve.rs` re-execs itself once per
+//! variant and reads the child's mark.
+
+/// The process's peak resident set size in kilobytes (`VmHWM`), or
+/// `None` on platforms without `/proc/self/status`.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+/// Parse the `VmHWM` line out of a `/proc/<pid>/status` document.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    status.lines().find_map(|line| {
+        let rest = line.strip_prefix("VmHWM:")?;
+        rest.trim().strip_suffix("kB")?.trim().parse().ok()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let doc = "Name:\tcat\nVmPeak:\t 1000 kB\nVmHWM:\t    5432 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(doc), Some(5432));
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        assert_eq!(parse_vm_hwm("Name:\tcat\n"), None);
+    }
+
+    #[test]
+    fn own_process_reports_nonzero_peak() {
+        // Any live Linux process has touched at least a few pages.
+        if let Some(kb) = peak_rss_kb() {
+            assert!(kb > 0);
+        }
+    }
+}

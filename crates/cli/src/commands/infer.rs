@@ -63,6 +63,16 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    // With a persistent cache attached, also materialize the three cone
+    // frames so the cache is serve-ready: `asrank serve` maps them
+    // directly and cannot compute them itself.
+    if snapshot.cache_dir().is_some() {
+        if let Err(e) = snapshot.cones() {
+            eprintln!("cone materialization failed: {e}");
+            return 1;
+        }
+    }
+
     if let Some(report_path) = flags.get("stage-report") {
         let json = snapshot.stage_report().to_json();
         if let Err(e) = std::fs::write(report_path, &json) {

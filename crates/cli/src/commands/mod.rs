@@ -6,7 +6,9 @@ pub mod diff;
 pub mod generate;
 pub mod infer;
 pub mod info;
+pub mod query;
 pub mod rank;
+pub mod serve;
 pub mod realism;
 pub mod simulate;
 pub mod stability;

@@ -1,0 +1,46 @@
+//! `asrank serve` — run the zero-copy query daemon over a warm cache.
+//!
+//! The daemon never runs the pipeline: it resolves the persisted frame
+//! paths from the RIB checksum + stage keys, memory-maps them, and
+//! answers the line protocol on TCP (see `asrank_serve::proto`). A
+//! watcher polls the RIB and frames; a re-warmed cache hot-swaps in
+//! without dropping connections.
+
+use crate::args::Flags;
+use crate::snapshot::load_serve_spec;
+use asrank_serve::Server;
+use std::time::Duration;
+
+pub fn run(args: &[String]) -> i32 {
+    let Some(flags) = Flags::parse(args) else {
+        return 2;
+    };
+    let Some(port) = flags.get_or("port", 4646u16) else {
+        return 2;
+    };
+    let Some(poll_ms) = flags.get_or("poll-ms", 2000u64) else {
+        return 2;
+    };
+    let spec = match load_serve_spec(&flags) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    let poll = (poll_ms > 0).then(|| Duration::from_millis(poll_ms));
+    let server = match Server::start(spec, port, poll) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    println!(
+        "serving on {} (generation {})",
+        server.addr(),
+        server.state().generation()
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -28,6 +28,8 @@ fn main() {
         Some("simulate") => commands::simulate::run(&argv[1..]),
         Some("infer") => commands::infer::run(&argv[1..]),
         Some("info") => commands::info::run(&argv[1..]),
+        Some("query") => commands::query::run(&argv[1..]),
+        Some("serve") => commands::serve::run(&argv[1..]),
         Some("validate") => commands::validate::run(&argv[1..]),
         Some("rank") => commands::rank::run(&argv[1..]),
         Some("realism") => commands::realism::run(&argv[1..]),
@@ -66,6 +68,10 @@ subcommands:
   diff       --old as-rel.txt|FILE.mrt --new as-rel.txt|FILE.mrt [--show N]
   realism    --topo DIR
   info       --rib FILE.mrt
+  serve      --rib FILE.mrt --cache-dir DIR [--topo DIR] [--port N]
+             [--poll-ms N]
+  query      --rib FILE.mrt --cache-dir DIR [--topo DIR] [QUERY...]
+  query      --connect HOST:PORT [QUERY...]
 
 --threads takes a worker count (1 = deterministic single-threaded order,
 which produces identical output to any other value) or \"auto\"/0 for all
@@ -77,6 +83,16 @@ stability, audit) also accepts [--cache-dir DIR] [--no-cache]:
 stage) as checksummed binary files keyed by input content + config, so a
 warm re-run skips straight to the answer; --no-cache disables it.
 Corrupt or stale cache files are recomputed silently, never trusted.
+
+serve runs a zero-copy query daemon over a cache previously warmed by
+`infer --cache-dir` (which persists the inference and cone frames
+serve maps): frames are
+memory-mapped and queries answered in place, with hot-swap to a
+re-warmed cache. query answers the same line protocol one-shot (local
+mmap) or against a running daemon (--connect); with no QUERY on the
+command line it reads queries from stdin, one per line. Queries:
+rel X Y | cone FLAVOR X Y | cone-size FLAVOR X | degree X | rank X |
+gen, with FLAVOR one of recursive, bgp, pp.
 
 audit --stage materializes one memoized engine artifact and audits only
 it; NAME is one of s1_sanitize, s2_degrees, s3_clique, path_arena,

@@ -20,9 +20,10 @@ use crate::args::Flags;
 use as_topology_gen::load_bundle;
 use asrank_core::engine::Snapshot;
 use asrank_core::pipeline::InferenceConfig;
-use asrank_core::{read_as_rel, CacheDir};
+use asrank_core::{read_as_rel, CacheDir, InferenceView};
+use asrank_serve::{MappedBytes, SourceSpec, INFERENCE_STAGE};
 use asrank_types::{
-    checksum64, Asn, EngineError, Ipv4Prefix, Parallelism, PathSet, RelationshipMap,
+    checksum64, Asn, EngineError, Ipv4Prefix, LinkRel, Parallelism, PathSet, RelationshipMap,
 };
 use mrt_codec::read_rib_dump_parallel;
 use std::collections::HashMap;
@@ -137,12 +138,80 @@ pub fn load_inputs(flags: &Flags) -> Result<LoadedInputs, i32> {
     })
 }
 
+/// Build the serve/query frame spec from `--rib` / `--cache-dir` /
+/// `--topo`: the RIB anchors the cache keys, the topo bundle supplies
+/// the IXP config + prefix table of the warm run (keys depend on both).
+pub fn load_serve_spec(flags: &Flags) -> Result<SourceSpec, i32> {
+    let Some(rib) = flags.required("rib") else {
+        return Err(2);
+    };
+    let Some(cache_dir) = flags.required("cache-dir") else {
+        return Err(2);
+    };
+    let (cfg, prefixes) = match flags.get("topo") {
+        Some(dir) => match load_bundle(&PathBuf::from(dir)) {
+            Ok(t) => {
+                let ixps: Vec<Asn> = t.ixps.iter().map(|i| i.route_server).collect();
+                (
+                    InferenceConfig::with_ixps(ixps),
+                    Some(t.ground_truth.prefixes),
+                )
+            }
+            Err(e) => {
+                eprintln!("{}", EngineError::ingest(dir, e.to_string()));
+                return Err(1);
+            }
+        },
+        None => (InferenceConfig::default(), None),
+    };
+    Ok(SourceSpec {
+        rib: PathBuf::from(rib),
+        cache_root: PathBuf::from(cache_dir),
+        cfg,
+        prefixes,
+    })
+}
+
+/// Warm-cache fast path for [`rels_from`]: when the inference frame for
+/// this RIB (under the default config) is already persisted, rebuild the
+/// relationship map straight from the borrowed frame view — the RIB is
+/// read once for its checksum, but no `PathSet` is materialized, no
+/// pipeline stage runs, and no owned artifact is decoded.
+fn cached_rels(path: &str) -> Option<RelationshipMap> {
+    let cache_root = asrank_core::process_cache_dir()?;
+    let spec = SourceSpec {
+        rib: PathBuf::from(path),
+        cache_root,
+        cfg: InferenceConfig::default(),
+        prefixes: None,
+    };
+    let (_, content_fp) = spec.content_fp().ok()?;
+    let frame_path = spec.locate(INFERENCE_STAGE, content_fp).ok()?;
+    let frame = MappedBytes::open(&frame_path).ok()?;
+    let (view, _, _) = InferenceView::open(&frame).ok()?;
+    let mut rels = RelationshipMap::new();
+    for (link, rel) in view.rels.iter() {
+        match rel {
+            LinkRel::AC2pB => rels.insert_c2p(link.a, link.b),
+            LinkRel::AP2cB => rels.insert_c2p(link.b, link.a),
+            LinkRel::P2p => rels.insert_p2p(link.a, link.b),
+            LinkRel::S2s => rels.insert_s2s(link.a, link.b),
+        }
+    }
+    Some(rels)
+}
+
 /// Load a relationship map from either an as-rel text file or — when the
 /// path ends in `.mrt` — an MRT RIB, in which case the relationships are
 /// inferred through the staged engine. This lets `validate` and `diff`
 /// consume raw RIBs directly without a separate `infer --out` round trip.
+/// With a warm cache the inference frame is read through a borrowed view
+/// ([`cached_rels`]) and the decode/re-infer path is skipped entirely.
 pub fn rels_from(path: &str, threads: Parallelism) -> Option<RelationshipMap> {
     if path.ends_with(".mrt") {
+        if let Some(rels) = cached_rels(path) {
+            return Some(rels);
+        }
         let paths = match load_rib(path, threads) {
             Ok(p) => p,
             Err(e) => {

@@ -184,6 +184,25 @@ struct Env<'a> {
     prefix_fp: u64,
 }
 
+/// The fingerprint-visible slice of the environment: exactly what a
+/// stage's config-subset hash may read. Deliberately **path-free** —
+/// cache keys must be computable from configuration alone, so a serving
+/// process can resolve the exact on-disk frame for a stage without ever
+/// materializing the `PathSet` (see [`stage_disk_key`]).
+struct FpCtx<'c> {
+    cfg: &'c InferenceConfig,
+    prefix_fp: u64,
+}
+
+impl<'a> Env<'a> {
+    fn fp_ctx(&self) -> FpCtx<'_> {
+        FpCtx {
+            cfg: &self.cfg,
+            prefix_fp: self.prefix_fp,
+        }
+    }
+}
+
 /// One node of the stage DAG: a name, the stages it consumes, the config
 /// subset entering its fingerprint, and a pure body.
 struct StageSpec {
@@ -192,7 +211,7 @@ struct StageSpec {
     /// the order the body expects them.
     inputs: &'static [usize],
     /// Hash of the config subset this stage reads (0 when it reads none).
-    cfg_fp: fn(&Env) -> u64,
+    cfg_fp: fn(&FpCtx) -> u64,
     /// The stage body. Pure: output depends only on `env` and `inputs`.
     run: fn(&Env, &[Artifact]) -> Result<Artifact, EngineError>,
 }
@@ -320,13 +339,13 @@ static STAGES: &[StageSpec] = &[
 // Config-subset fingerprints. Parallelism never enters a fingerprint:
 // results are identical for every thread budget.
 
-fn fp_none(_env: &Env) -> u64 {
+fn fp_none(_ctx: &FpCtx) -> u64 {
     0
 }
 
-fn fp_sanitize(env: &Env) -> u64 {
+fn fp_sanitize(ctx: &FpCtx) -> u64 {
     let mut h = FxHasher::default();
-    let mut ixps: Vec<Asn> = env.cfg.sanitize.ixp_asns.iter().copied().collect();
+    let mut ixps: Vec<Asn> = ctx.cfg.sanitize.ixp_asns.iter().copied().collect();
     ixps.sort_unstable();
     for a in ixps {
         h.write_u32(a.0);
@@ -334,41 +353,88 @@ fn fp_sanitize(env: &Env) -> u64 {
     h.finish()
 }
 
-fn fp_clique(env: &Env) -> u64 {
+fn fp_clique(ctx: &FpCtx) -> u64 {
     let mut h = FxHasher::default();
-    h.write_u64(env.cfg.clique.candidates as u64);
-    h.write_u8(u8::from(env.cfg.clique.require_seed));
+    h.write_u64(ctx.cfg.clique.candidates as u64);
+    h.write_u8(u8::from(ctx.cfg.clique.require_seed));
     h.finish()
 }
 
-fn fp_poison(env: &Env) -> u64 {
-    u64::from(env.cfg.ablation.no_poison_filter)
+fn fp_poison(ctx: &FpCtx) -> u64 {
+    u64::from(ctx.cfg.ablation.no_poison_filter)
 }
 
-fn fp_vp(env: &Env) -> u64 {
+fn fp_vp(ctx: &FpCtx) -> u64 {
     let mut h = FxHasher::default();
-    h.write_u64(env.cfg.vp_provider_threshold.to_bits());
-    h.write_u8(u8::from(env.cfg.ablation.no_vp_step));
+    h.write_u64(ctx.cfg.vp_provider_threshold.to_bits());
+    h.write_u8(u8::from(ctx.cfg.ablation.no_vp_step));
     h.finish()
 }
 
-fn fp_anomaly(env: &Env) -> u64 {
+fn fp_anomaly(ctx: &FpCtx) -> u64 {
     let mut h = FxHasher::default();
-    h.write_u64(env.cfg.degree_flip_ratio.to_bits());
-    h.write_u8(u8::from(env.cfg.ablation.no_anomaly_repair));
+    h.write_u64(ctx.cfg.degree_flip_ratio.to_bits());
+    h.write_u8(u8::from(ctx.cfg.ablation.no_anomaly_repair));
     h.finish()
 }
 
-fn fp_stub(env: &Env) -> u64 {
-    u64::from(env.cfg.ablation.no_stub_clique)
+fn fp_stub(ctx: &FpCtx) -> u64 {
+    u64::from(ctx.cfg.ablation.no_stub_clique)
 }
 
-fn fp_providerless(env: &Env) -> u64 {
-    u64::from(env.cfg.ablation.no_providerless)
+fn fp_providerless(ctx: &FpCtx) -> u64 {
+    u64::from(ctx.cfg.ablation.no_providerless)
 }
 
-fn fp_prefixes(env: &Env) -> u64 {
-    env.prefix_fp
+fn fp_prefixes(ctx: &FpCtx) -> u64 {
+    ctx.prefix_fp
+}
+
+/// Chained fingerprint of stage `idx` under a fingerprint context:
+/// `mix(stage name, own config subset, fp(inputs)...)`. This is the one
+/// definition both [`Snapshot`] and [`stage_disk_key`] use, so a key
+/// computed without a dataset is bit-identical to the key the engine
+/// writes under.
+fn fingerprint_with(ctx: &FpCtx, idx: usize) -> u64 {
+    let Some(spec) = STAGES.get(idx) else { return 0 };
+    let mut h = FxHasher::default();
+    h.write(spec.name.as_bytes());
+    h.write_u64((spec.cfg_fp)(ctx));
+    for &j in spec.inputs {
+        h.write_u64(fingerprint_with(ctx, j));
+    }
+    h.finish()
+}
+
+fn mix_disk_key(content_fp: u64, fp: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(content_fp);
+    h.write_u64(fp);
+    h.finish()
+}
+
+/// The exact on-disk [`crate::persist::CacheDir`] key a snapshot uses
+/// for `stage`, computed **without the dataset**: configuration, the
+/// optional per-AS prefix table, and the dataset's content fingerprint
+/// ([`crate::persist::pathset_fingerprint`], or its streaming twin
+/// [`crate::persist::view::pathset_fingerprint_from_frame`]) fully
+/// determine it. `None` for unknown stage names.
+///
+/// This is what lets `asrank serve` map cache frames directly: resolve
+/// the RIB's content fingerprint from the ingest cache frame, then ask
+/// for each stage's key — no `PathSet`, no engine run.
+pub fn stage_disk_key(
+    stage: &str,
+    cfg: &InferenceConfig,
+    prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+    content_fp: u64,
+) -> Option<u64> {
+    let idx = STAGES.iter().position(|s| s.name == stage)?;
+    let ctx = FpCtx {
+        cfg,
+        prefix_fp: hash_prefixes(prefixes),
+    };
+    Some(mix_disk_key(content_fp, fingerprint_with(&ctx, idx)))
 }
 
 /// Hash the optional per-AS prefix table in sorted (deterministic) order.
@@ -906,23 +972,13 @@ impl<'a> Snapshot<'a> {
 
     /// Chained fingerprint of stage `idx` under the current config.
     fn fingerprint(&self, idx: usize) -> u64 {
-        let Some(spec) = STAGES.get(idx) else { return 0 };
-        let mut h = FxHasher::default();
-        h.write(spec.name.as_bytes());
-        h.write_u64((spec.cfg_fp)(&self.env));
-        for &j in spec.inputs {
-            h.write_u64(self.fingerprint(j));
-        }
-        h.finish()
+        fingerprint_with(&self.env.fp_ctx(), idx)
     }
 
     /// On-disk key for stage `idx` under fingerprint `fp`: the chained
     /// config fingerprint extended with the dataset content hash.
     fn disk_key(&self, fp: u64) -> u64 {
-        let mut h = FxHasher::default();
-        h.write_u64(self.content_fp);
-        h.write_u64(fp);
-        h.finish()
+        mix_disk_key(self.content_fp, fp)
     }
 
     fn materialize_idx(&mut self, idx: usize) -> Result<Artifact, EngineError> {
@@ -1260,6 +1316,46 @@ mod tests {
         snap = Snapshot::new(&paths, InferenceConfig::default()).with_prefixes(table);
         assert_ne!(no_table, snap.fingerprint(CONE_RECURSIVE));
         assert_eq!(inf_fp, snap.fingerprint(S11_INFERENCE));
+    }
+
+    #[test]
+    fn stage_disk_key_matches_snapshot_cache_files() {
+        // The path-free key computation must land on exactly the frame
+        // files a cached snapshot writes — the contract the serve tier's
+        // frame resolution depends on.
+        let paths = hierarchy_paths();
+        let dir = std::env::temp_dir().join(format!(
+            "asrank_engine_diskkey_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = InferenceConfig::default();
+        let mut snap = Snapshot::new(&paths, cfg.clone()).with_cache_dir(&dir);
+        for name in Snapshot::stage_names() {
+            snap.materialize(name).unwrap();
+        }
+        let cache = crate::persist::CacheDir::new(&dir);
+        let content_fp = crate::persist::pathset_fingerprint(&paths);
+        for name in Snapshot::stage_names() {
+            let key = stage_disk_key(name, &cfg, None, content_fp).unwrap();
+            assert!(
+                cache.entry_path(name, key).is_file(),
+                "stage {name}: no frame at the path-free key"
+            );
+        }
+        assert!(stage_disk_key("nope", &cfg, None, content_fp).is_none());
+        // A different config or dataset moves the key.
+        let mut other = InferenceConfig::default();
+        other.sanitize = crate::SanitizeConfig::with_ixps([Asn(999)]);
+        assert_ne!(
+            stage_disk_key("s1_sanitize", &cfg, None, content_fp),
+            stage_disk_key("s1_sanitize", &other, None, content_fp)
+        );
+        assert_ne!(
+            stage_disk_key("s1_sanitize", &cfg, None, content_fp),
+            stage_disk_key("s1_sanitize", &cfg, None, content_fp ^ 1)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -60,12 +60,15 @@ pub use cone::{ConeSets, ConeSize, CustomerCones};
 pub use csr::{Adjacency, Csr};
 pub use degree::DegreeTable;
 pub use diff::{diff_relationships, ChangedLink, RelDiff};
-pub use engine::{Artifact, Snapshot, StageReport, StageStats};
+pub use engine::{stage_disk_key, Artifact, Snapshot, StageReport, StageStats};
 pub use io::{read_as_rel, write_as_rel, AsRelError};
 pub use patharena::PathArena;
 pub use persist::{
     decode_artifact, encode_artifact, pathset_fingerprint, process_cache_dir,
     set_process_cache_dir, CacheDir,
+};
+pub use persist::view::{
+    pathset_fingerprint_from_frame, ConeLayout, ConeView, InferenceLayout, InferenceView,
 };
 pub use pipeline::{infer, infer_monolithic, try_infer, Inference, InferenceConfig, InferenceReport};
 pub use rank::{rank_ases, RankedAs};

@@ -30,6 +30,8 @@
 //! recompute + rewrite. Nothing on this path panics; a cache directory
 //! full of garbage degrades to exactly the uncached behavior.
 
+pub mod view;
+
 use crate::cone::{ConeSize, CustomerCones};
 use crate::degree::DegreeTable;
 use crate::engine::{Artifact, KeptPaths, StepState};

@@ -88,7 +88,8 @@ const DETERMINISM_CRITICAL: &[&str] = &[
     "crates/core/src/cone.rs",
     "crates/core/src/par.rs",
     "crates/core/src/patharena.rs",
-    "crates/core/src/persist.rs",
+    "crates/core/src/persist/",
+    "crates/serve/src/",
     "crates/types/src/codec.rs",
     "crates/mrt/src/scan.rs",
     "crates/bgpsim/src/propagate.rs",

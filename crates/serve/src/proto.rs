@@ -1,0 +1,163 @@
+//! The line protocol shared by `asrank serve` (TCP) and `asrank query`
+//! (one-shot / client mode).
+//!
+//! One request per line, one answer line per request:
+//!
+//! ```text
+//! rel <x> <y>              -> provider|customer|peer|sibling|none
+//! cone <flavor> <x> <y>    -> true|false
+//! cone-size <flavor> <x>   -> ases=A prefixes=P addresses=B
+//! degree <x>               -> transit=T node=N
+//! rank <x>                 -> <n>|none
+//! gen                      -> <generation>
+//! quit                     -> (closes the connection)
+//! ```
+//!
+//! `<flavor>` is `recursive` (alias `rec`), `bgp` (alias `bgp-observed`,
+//! `observed`), or `pp` (alias `provider-peer`). `rel` answers from
+//! `x`'s point of view: `provider` means *y is x's provider*. Errors
+//! answer `err <detail>` and keep the connection open.
+
+use crate::snapshot::{Answer, Query};
+use crate::source::{ConeFlavor, ServeError};
+use asrank_types::{Asn, Orientation};
+
+/// One parsed protocol line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// A snapshot query.
+    Query(Query),
+    /// Report the published snapshot generation.
+    Gen,
+    /// Close the connection.
+    Quit,
+}
+
+fn asn(tok: Option<&str>, line: &str) -> Result<Asn, ServeError> {
+    tok.and_then(|t| t.parse::<u32>().ok())
+        .map(Asn)
+        .ok_or_else(|| ServeError::BadQuery(line.to_string()))
+}
+
+fn flavor(tok: Option<&str>, line: &str) -> Result<ConeFlavor, ServeError> {
+    tok.and_then(ConeFlavor::parse)
+        .ok_or_else(|| ServeError::BadQuery(line.to_string()))
+}
+
+/// Parse one protocol line. Unknown verbs, bad ASNs, bad flavors, and
+/// trailing junk are all [`ServeError::BadQuery`].
+pub fn parse_request(line: &str) -> Result<Request, ServeError> {
+    let mut toks = line.split_whitespace();
+    let verb = toks.next().ok_or_else(|| ServeError::BadQuery(line.into()))?;
+    let req = match verb {
+        "rel" => Request::Query(Query::Rel(asn(toks.next(), line)?, asn(toks.next(), line)?)),
+        "cone" => Request::Query(Query::ConeContains(
+            flavor(toks.next(), line)?,
+            asn(toks.next(), line)?,
+            asn(toks.next(), line)?,
+        )),
+        "cone-size" => Request::Query(Query::ConeSize(
+            flavor(toks.next(), line)?,
+            asn(toks.next(), line)?,
+        )),
+        "degree" => Request::Query(Query::Degree(asn(toks.next(), line)?)),
+        "rank" => Request::Query(Query::Rank(asn(toks.next(), line)?)),
+        "gen" => Request::Gen,
+        "quit" => Request::Quit,
+        _ => return Err(ServeError::BadQuery(line.into())),
+    };
+    if toks.next().is_some() {
+        return Err(ServeError::BadQuery(line.into()));
+    }
+    Ok(req)
+}
+
+/// Render one answer as its protocol line (no trailing newline).
+pub fn format_answer(a: &Answer) -> String {
+    match a {
+        Answer::Rel(o) => match o {
+            Some(Orientation::Provider) => "provider".into(),
+            Some(Orientation::Customer) => "customer".into(),
+            Some(Orientation::Peer) => "peer".into(),
+            Some(Orientation::Sibling) => "sibling".into(),
+            None => "none".into(),
+        },
+        Answer::ConeContains(b) => b.to_string(),
+        Answer::ConeSize(s) => format!(
+            "ases={} prefixes={} addresses={}",
+            s.ases, s.prefixes, s.addresses
+        ),
+        Answer::Degree(t, n) => format!("transit={t} node={n}"),
+        Answer::Rank(Some(r)) => r.to_string(),
+        Answer::Rank(None) => "none".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("rel 10 20").unwrap(),
+            Request::Query(Query::Rel(Asn(10), Asn(20)))
+        );
+        assert_eq!(
+            parse_request("cone pp 1 2").unwrap(),
+            Request::Query(Query::ConeContains(ConeFlavor::ProviderPeer, Asn(1), Asn(2)))
+        );
+        assert_eq!(
+            parse_request("cone-size recursive 7").unwrap(),
+            Request::Query(Query::ConeSize(ConeFlavor::Recursive, Asn(7)))
+        );
+        assert_eq!(
+            parse_request("degree 7").unwrap(),
+            Request::Query(Query::Degree(Asn(7)))
+        );
+        assert_eq!(
+            parse_request("rank 7").unwrap(),
+            Request::Query(Query::Rank(Asn(7)))
+        );
+        assert_eq!(parse_request("gen").unwrap(), Request::Gen);
+        assert_eq!(parse_request("quit").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "bogus",
+            "rel 1",
+            "rel 1 2 3",
+            "rel x y",
+            "cone nope 1 2",
+            "cone-size recursive",
+            "rank",
+            "gen extra",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn formats_answers() {
+        assert_eq!(
+            format_answer(&Answer::Rel(Some(Orientation::Provider))),
+            "provider"
+        );
+        assert_eq!(format_answer(&Answer::Rel(None)), "none");
+        assert_eq!(format_answer(&Answer::ConeContains(true)), "true");
+        assert_eq!(
+            format_answer(&Answer::ConeSize(asrank_core::ConeSize {
+                ases: 3,
+                prefixes: 2,
+                addresses: 512,
+            })),
+            "ases=3 prefixes=2 addresses=512"
+        );
+        assert_eq!(format_answer(&Answer::Degree(4, 9)), "transit=4 node=9");
+        assert_eq!(format_answer(&Answer::Rank(Some(1))), "1");
+        assert_eq!(format_answer(&Answer::Rank(None)), "none");
+    }
+}

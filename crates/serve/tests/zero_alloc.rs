@@ -1,0 +1,109 @@
+//! The zero-copy claim, pinned: after warmup, point queries against a
+//! [`ServeSnapshot`] perform **no heap allocation at all**. A counting
+//! global allocator wraps `System`; the hot loop runs every query kind
+//! and the allocation counter must not move.
+//!
+//! (This is an integration test so the custom `#[global_allocator]`
+//! stays confined to one binary.)
+
+mod common;
+
+use asrank_serve::{Answer, ConeFlavor, Query, ServeSnapshot};
+use asrank_types::Asn;
+use common::{sample_paths, scratch, warm_cache};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+// SAFETY: delegates every operation verbatim to `System`; the only
+// addition is a relaxed counter bump on the allocating paths.
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTING: Counting = Counting;
+
+fn query_round(serve: &ServeSnapshot, probes: &[Asn], sink: &mut u64) {
+    for &x in probes {
+        for &y in probes {
+            if serve.rel(x, y).is_some() {
+                *sink += 1;
+            }
+            if serve.cone_contains(ConeFlavor::Recursive, x, y) {
+                *sink += 1;
+            }
+            if serve.cone_contains(ConeFlavor::BgpObserved, x, y) {
+                *sink += 1;
+            }
+            if serve.cone_contains(ConeFlavor::ProviderPeer, x, y) {
+                *sink += 1;
+            }
+        }
+        let size = serve.cone_size(ConeFlavor::Recursive, x);
+        *sink += size.ases as u64;
+        let (t, n) = serve.degree(x);
+        *sink += t + n;
+        *sink += serve.rank(x).unwrap_or(0);
+    }
+}
+
+#[test]
+fn warm_queries_allocate_nothing() {
+    let root = scratch("zeroalloc");
+    let ps = sample_paths();
+    let spec = warm_cache(&root, b"zero-alloc-rib-v1", &ps);
+    let serve = ServeSnapshot::load(&spec, 1).expect("load snapshot");
+
+    let mut probes: Vec<Asn> = ps.iter().flat_map(|s| s.path.iter()).collect();
+    probes.sort_unstable();
+    probes.dedup();
+    probes.push(Asn(123_456));
+
+    // Batch buffers are reused; reserve happens during warmup.
+    let queries: Vec<Query> = probes
+        .iter()
+        .map(|&x| Query::ConeSize(ConeFlavor::ProviderPeer, x))
+        .collect();
+    let mut batch: Vec<Answer> = Vec::new();
+
+    // Warmup: fault in mapped pages, size the batch buffer.
+    let mut sink = 0u64;
+    query_round(&serve, &probes, &mut sink);
+    serve.answer_batch(&queries, &mut batch);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..16 {
+        query_round(&serve, &probes, &mut sink);
+        serve.answer_batch(&queries, &mut batch);
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert!(sink != 0, "queries actually answered");
+    assert_eq!(
+        after - before,
+        0,
+        "warm read path must not allocate (got {} allocations)",
+        after - before
+    );
+}

@@ -379,6 +379,180 @@ impl<'a> Decoder<'a> {
         }
         Ok(())
     }
+
+    /// Current read position within the payload. Together with
+    /// [`HEADER_LEN`] this lets a caller record frame-relative offsets of
+    /// the fields it walks past — the primitive the borrowed artifact
+    /// views build their offset tables from.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Read a length-prefixed u32 sequence as a borrowed [`U32View`] —
+    /// the zero-copy twin of [`Decoder::seq_u32`]. The same length guard
+    /// applies; no element is decoded or allocated.
+    pub fn seq_u32_view(&mut self, context: &'static str) -> Result<U32View<'a>, CodecError> {
+        let len = self.seq_len(4, context)?;
+        let raw = self.take(len * 4, context)?;
+        Ok(U32View { raw })
+    }
+
+    /// Read a length-prefixed u64 sequence as a borrowed [`U64View`] —
+    /// the zero-copy twin of [`Decoder::seq_u64`].
+    pub fn seq_u64_view(&mut self, context: &'static str) -> Result<U64View<'a>, CodecError> {
+        let len = self.seq_len(8, context)?;
+        let raw = self.take(len * 8, context)?;
+        Ok(U64View { raw })
+    }
+
+    /// Skip `n` raw payload bytes (a section the caller indexes later via
+    /// a recorded offset instead of decoding now).
+    pub fn skip(&mut self, n: usize, context: &'static str) -> Result<(), CodecError> {
+        self.take(n, context).map(|_| ())
+    }
+
+    /// Borrow `n` raw payload bytes and advance past them — how a view
+    /// layer slices out a fixed-stride section (e.g. packed 9-byte
+    /// relationship entries) without decoding it.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], CodecError> {
+        self.take(n, context)
+    }
+
+    /// The unconsumed payload, without advancing. A view layer pairs this
+    /// with [`Decoder::position`] to slice out a variable-stride section
+    /// it validates by walking forward.
+    pub fn tail(&self) -> &'a [u8] {
+        &self.payload[self.pos..]
+    }
+}
+
+/// Borrowed view over a packed little-endian `u32` sequence: reads
+/// happen in place with explicit byte loads, so the underlying bytes
+/// need no alignment and are never copied. This is the element type of
+/// the zero-decode read path — a mapped cache frame is queried through
+/// these views without materializing a single `Vec`.
+#[derive(Debug, Clone, Copy)]
+pub struct U32View<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> U32View<'a> {
+    /// View over raw bytes holding packed LE u32s. Trailing bytes that
+    /// do not fill a whole element are ignored.
+    pub fn new(raw: &'a [u8]) -> Self {
+        U32View {
+            raw: &raw[..raw.len() - raw.len() % 4],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 4
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Element `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<u32> {
+        let off = i.checked_mul(4)?;
+        let s = self.raw.get(off..off + 4)?;
+        Some(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Iterate the elements in order, decoding each on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + 'a {
+        self.raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+    }
+
+    /// Decode into an owned `Vec` (the escape hatch back to the owned
+    /// world; the read path never calls this).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+
+    /// Binary search for `target`, assuming the elements are sorted
+    /// ascending (the caller owns that invariant — interners and member
+    /// arenas serialize sorted). Same contract as `slice::binary_search`.
+    pub fn binary_search(&self, target: u32) -> Result<usize, usize> {
+        let (mut lo, mut hi) = (0usize, self.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            // In-bounds by the loop invariant; `None` cannot occur.
+            match self.get(mid) {
+                Some(v) if v < target => lo = mid + 1,
+                Some(v) if v > target => hi = mid,
+                Some(_) => return Ok(mid),
+                None => return Err(lo),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Subrange `[start, end)` of elements as a new view, or `None` when
+    /// out of range.
+    pub fn slice(&self, start: usize, end: usize) -> Option<U32View<'a>> {
+        if start > end || end > self.len() {
+            return None;
+        }
+        Some(U32View {
+            raw: &self.raw[start * 4..end * 4],
+        })
+    }
+}
+
+/// Borrowed view over a packed little-endian `u64` sequence — the u64
+/// twin of [`U32View`].
+#[derive(Debug, Clone, Copy)]
+pub struct U64View<'a> {
+    raw: &'a [u8],
+}
+
+impl<'a> U64View<'a> {
+    /// View over raw bytes holding packed LE u64s. Trailing bytes that
+    /// do not fill a whole element are ignored.
+    pub fn new(raw: &'a [u8]) -> Self {
+        U64View {
+            raw: &raw[..raw.len() - raw.len() % 8],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.raw.len() / 8
+    }
+
+    /// True when the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Element `i`, or `None` past the end.
+    pub fn get(&self, i: usize) -> Option<u64> {
+        let off = i.checked_mul(8)?;
+        let s = self.raw.get(off..off + 8)?;
+        let mut b = [0u8; 8];
+        b.copy_from_slice(s);
+        Some(u64::from_le_bytes(b))
+    }
+
+    /// Iterate the elements in order, decoding each on the fly.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + 'a {
+        self.raw.chunks_exact(8).map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            u64::from_le_bytes(b)
+        })
+    }
+
+    /// Decode into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
 }
 
 #[cfg(test)]
@@ -487,5 +661,73 @@ mod tests {
         let bytes = Encoder::new(0).finish();
         let d = Decoder::open(&bytes, 0).unwrap();
         d.finish().unwrap();
+    }
+
+    #[test]
+    fn seq_views_match_owned_decode() {
+        let bytes = sample_frame();
+        let mut owned = Decoder::open(&bytes, 7).unwrap();
+        let mut viewed = Decoder::open(&bytes, 7).unwrap();
+        owned.u8("a").unwrap();
+        owned.u32("b").unwrap();
+        owned.u64("c").unwrap();
+        viewed.u8("a").unwrap();
+        viewed.u32("b").unwrap();
+        viewed.u64("c").unwrap();
+        assert_eq!(owned.position(), viewed.position());
+        let o32 = owned.seq_u32("d").unwrap();
+        let v32 = viewed.seq_u32_view("d").unwrap();
+        assert_eq!(v32.to_vec(), o32);
+        assert_eq!(v32.len(), o32.len());
+        for (i, &want) in o32.iter().enumerate() {
+            assert_eq!(v32.get(i), Some(want));
+        }
+        assert_eq!(v32.get(o32.len()), None);
+        let o64 = owned.seq_u64("e").unwrap();
+        let v64 = viewed.seq_u64_view("e").unwrap();
+        assert_eq!(v64.to_vec(), o64);
+        for (i, &want) in o64.iter().enumerate() {
+            assert_eq!(v64.get(i), Some(want));
+        }
+        assert_eq!(owned.position(), viewed.position());
+        owned.finish().unwrap();
+        viewed.finish().unwrap();
+    }
+
+    #[test]
+    fn u32_view_binary_search_matches_slice() {
+        let vals: Vec<u32> = vec![2, 5, 5, 9, 40, 41, 1000];
+        let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let view = U32View::new(&raw);
+        for probe in [0u32, 2, 3, 5, 9, 39, 40, 42, 1000, 1001] {
+            match (view.binary_search(probe), vals.binary_search(&probe)) {
+                (Ok(i), Ok(_)) => assert_eq!(vals[i], probe),
+                (Err(a), Err(b)) => assert_eq!(a, b, "insert point for {probe}"),
+                (a, b) => panic!("search {probe}: view {a:?} vs slice {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn u32_view_slice_bounds() {
+        let vals: Vec<u32> = (0..10).collect();
+        let raw: Vec<u8> = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let view = U32View::new(&raw);
+        let mid = view.slice(3, 7).unwrap();
+        assert_eq!(mid.to_vec(), vec![3, 4, 5, 6]);
+        assert!(view.slice(7, 3).is_none());
+        assert!(view.slice(0, 11).is_none());
+        assert_eq!(view.slice(5, 5).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn skip_advances_past_raw_sections() {
+        let bytes = sample_frame();
+        let mut d = Decoder::open(&bytes, 7).unwrap();
+        // a(1) + b(4) + c(8) = 13 bytes of scalars.
+        d.skip(13, "scalars").unwrap();
+        assert_eq!(d.position(), 13);
+        assert_eq!(d.seq_u32("d").unwrap(), vec![1, 2, 3]);
+        assert!(d.skip(usize::MAX, "overrun").is_err());
     }
 }

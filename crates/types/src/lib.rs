@@ -39,7 +39,9 @@ pub mod update;
 
 pub use asn::{dense_id, Asn, AsnClass, AsnInterner};
 pub use bitset::BitSet;
-pub use codec::{checksum64, CodecError, Decoder, Encoder, CODEC_MAGIC, CODEC_VERSION};
+pub use codec::{
+    checksum64, CodecError, Decoder, Encoder, U32View, U64View, CODEC_MAGIC, CODEC_VERSION,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use parallel::Parallelism;
 pub use error::{EngineError, TypesError};
