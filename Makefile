@@ -9,7 +9,7 @@ BENCH_OUT ?= BENCH.json
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
 BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve
 
-.PHONY: all build test test-engine lint audit verify bench bench-cones bench-ingest bench-serve serve-smoke stage-report clean
+.PHONY: all build test test-engine lint lint-strict audit verify bench bench-cones bench-ingest bench-serve serve-smoke stage-report clean
 
 all: build
 
@@ -27,11 +27,20 @@ test-engine:
 	$(CARGO) test -p asrank-core --test engine_equivalence
 	$(CARGO) test -p asrank-core engine::
 
-# Source-level determinism/robustness checks (L001–L005). Exit 1 on any
-# violation; annotate intentional exceptions with
+# Source-level determinism/robustness checks: the file-local rules
+# L001–L005 plus the cross-file semantic passes L006–L009 (fingerprint
+# coverage, unsafe/SAFETY contracts, atomics pairing, codec kind
+# exhaustiveness). Exit 1 on any violation; annotate intentional
+# exceptions with
 #   // lint: allow(<slug>, <reason>)
 lint:
 	$(CARGO) run --release -p asrank-lint -- --root $(CURDIR)
+
+# Everything `lint` checks, plus the L000 audit of the annotations
+# themselves: every allow must name a known slug and carry a reason.
+# This is the gate `verify` runs.
+lint-strict:
+	$(CARGO) run --release -p asrank-lint -- --root $(CURDIR) --strict
 
 # Semantic invariant audit over a small end-to-end fixture: generate →
 # simulate → infer, then grade the inferred relationships (CSR shape,
@@ -46,8 +55,9 @@ audit: build
 
 # The full pre-merge gate: compile, test (workspace tests include the
 # engine-equivalence suite; test-engine re-runs it explicitly so a
-# failure is named in the gate output), source lint, semantic audit.
-verify: build test test-engine lint audit
+# failure is named in the gate output), strict source lint (all nine
+# rules + the annotation audit), semantic audit.
+verify: build test test-engine lint-strict audit
 
 # Run the wired criterion benches with JSON-line capture, then assemble
 # the lines into a single $(BENCH_OUT) snapshot (medians + derived

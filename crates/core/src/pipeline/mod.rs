@@ -38,6 +38,7 @@ pub struct InferenceConfig {
     /// collection). The default (`auto`) uses all available cores;
     /// [`Parallelism::sequential`] runs single-threaded. Results are
     /// identical for every value.
+    // lint: allow(fp-excluded, thread budget only — outputs are bit-identical for every value, so it must not invalidate cached artifacts)
     pub parallelism: Parallelism,
 }
 

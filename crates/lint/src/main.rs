@@ -11,16 +11,22 @@ asrank-lint — repo-specific static checks for the asrank workspace
 
 USAGE:
     asrank-lint [--root DIR] [--format human|json] [--rule L00N]...
+                [--strict] [--fix-annotations]
 
 OPTIONS:
-    --root DIR        workspace root to scan (default: .)
-    --format FMT      output format: human (default) or json
-    --rule L00N       run only the named rule(s); repeatable
-    --list-rules      print the rule table and exit
-    -h, --help        show this help
+    --root DIR         workspace root to scan (default: .)
+    --format FMT       output format: human (default) or json
+    --rule L00N        run only the named rule(s); repeatable
+    --strict           also audit the annotations themselves (L000:
+                       unknown slugs, missing reasons)
+    --fix-annotations  dry run: print the exact allow-annotation line and
+                       location for each finding (writes nothing)
+    --list-rules       print the rule table and exit
+    -h, --help         show this help
 
-Rules are scoped per file (see README.md). Suppress a single finding with
-a trailing or preceding comment:
+Rules L001-L005 are scoped per file; L006-L009 are cross-file semantic
+passes over the whole workspace (see README.md). Suppress a single
+finding with a trailing or preceding comment:
     // lint: allow(<slug>, <reason>)
 The reason is mandatory; annotations without one are ignored.
 ";
@@ -30,6 +36,8 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut format = String::from("human");
     let mut rules: Vec<String> = Vec::new();
+    let mut strict = false;
+    let mut fix_annotations = false;
 
     let mut i = 0usize;
     while i < args.len() {
@@ -42,6 +50,8 @@ fn main() -> ExitCode {
                 for r in &asrank_lint::RULES {
                     println!("{} [{}] {}", r.id, r.slug, r.summary);
                 }
+                let m = &asrank_lint::META_RULE;
+                println!("{} [{}] {} (--strict only)", m.id, m.slug, m.summary);
                 return ExitCode::SUCCESS;
             }
             "--root" => {
@@ -69,13 +79,15 @@ fn main() -> ExitCode {
                     eprintln!("error: --rule needs a value\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                if !asrank_lint::RULES.iter().any(|r| r.id == v) {
+                if !asrank_lint::RULES.iter().any(|r| r.id == v) && v != asrank_lint::META_RULE.id {
                     eprintln!("error: unknown rule `{v}` (try --list-rules)");
                     return ExitCode::from(2);
                 }
                 rules.push(v.clone());
                 i += 1;
             }
+            "--strict" => strict = true,
+            "--fix-annotations" => fix_annotations = true,
             other => {
                 eprintln!("error: unknown argument `{other}`\n{USAGE}");
                 return ExitCode::from(2);
@@ -92,7 +104,7 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = match asrank_lint::lint_workspace(&root, &rules) {
+    let report = match asrank_lint::lint_workspace(&root, &rules, strict) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -100,7 +112,9 @@ fn main() -> ExitCode {
         }
     };
 
-    if format == "json" {
+    if fix_annotations {
+        print!("{}", asrank_lint::render_fix_annotations(&report));
+    } else if format == "json" {
         print!("{}", asrank_lint::render_json(&report));
     } else {
         print!("{}", asrank_lint::render_human(&report));

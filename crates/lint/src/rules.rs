@@ -1,6 +1,9 @@
-//! The five repo-specific rules. Each is a line-oriented pattern check
-//! over [`lexer::strip`]ped text, scoped to the files where the property
-//! matters, with `// lint: allow(<slug>, <reason>)` as the escape hatch.
+//! The file-local rules (L001–L005) and the shared rule table. Each
+//! local rule is a line-oriented pattern check over [`lexer::strip`]ped
+//! text, scoped to the files where the property matters, with
+//! `// lint: allow(<slug>, <reason>)` as the escape hatch. The
+//! cross-file rules (L006–L009) live in [`crate::semantic`] and run over
+//! a whole-workspace item index.
 //!
 //! These are deliberately token-level heuristics, not a type checker:
 //! they cannot see through method calls (`rels.c2p_pairs()` iterating an
@@ -29,7 +32,7 @@ pub struct Finding {
 
 /// Static description of a rule, for `--list-rules` and report footers.
 pub struct RuleInfo {
-    /// Rule id (`L001`..`L005`).
+    /// Rule id (`L001`..`L009`, plus the `L000` strict meta-check).
     pub id: &'static str,
     /// Annotation slug.
     pub slug: &'static str,
@@ -39,8 +42,19 @@ pub struct RuleInfo {
     pub help: &'static str,
 }
 
+/// The strict-mode meta-check on the annotations themselves: every
+/// `// lint: allow(..)` must name a known slug and carry a reason. Not
+/// part of [`RULES`] because it cannot be allow-annotated away.
+pub const META_RULE: RuleInfo = RuleInfo {
+    id: "L000",
+    slug: "annotation",
+    summary: "allow-annotation without a reason, or with an unknown rule slug",
+    help: "write `// lint: allow(<slug>, <reason>)` with a slug from --list-rules and a \
+           reason stating why the exception is sound",
+};
+
 /// All rules, in id order.
-pub const RULES: [RuleInfo; 5] = [
+pub const RULES: [RuleInfo; 9] = [
     RuleInfo {
         id: "L001",
         slug: "nondeterministic-iter",
@@ -77,6 +91,38 @@ pub const RULES: [RuleInfo; 5] = [
                the target type; the interner (types/src/asn.rs) is the one place allowed to \
                mint ids with a raw cast",
     },
+    RuleInfo {
+        id: "L006",
+        slug: "fp-excluded",
+        summary: "config field not mixed into any registered stage fingerprint",
+        help: "read the field from an fp_* function registered as `cfg_fp:` in the stage \
+               table (crates/core/src/engine.rs), or annotate the field \
+               `// lint: allow(fp-excluded, <why it cannot change stage outputs>)`",
+    },
+    RuleInfo {
+        id: "L007",
+        slug: "unsafe-contract",
+        summary: "unsafe outside allowlisted modules, or without an adjacent SAFETY: comment",
+        help: "keep unsafety inside the audited modules (serve/src/mmap.rs, the zero-alloc \
+               test allocator) and give every `unsafe` a `// SAFETY:` comment on the same \
+               line or directly above",
+    },
+    RuleInfo {
+        id: "L008",
+        slug: "atomics",
+        summary: "Release store with no Acquire load in its compilation unit, or Relaxed in tests",
+        help: "pair every `store(…, Release)` with a `load(Acquire)` on the same receiver \
+               in the same crate/test tree, and annotate genuinely order-free test counters \
+               `// lint: allow(atomics, <reason>)`",
+    },
+    RuleInfo {
+        id: "L009",
+        slug: "codec-kind",
+        summary: "artifact kind tag without encode, decode, and view coverage",
+        help: "give every `u16` tag in `persist::kind` an `Encoder::new(kind::X)` site, a \
+               decode match arm (or `Decoder::open`), and a borrowed-view reference in \
+               persist/view.rs — or remove the dead tag",
+    },
 ];
 
 /// Files/prefixes where L001 (deterministic iteration) is enforced.
@@ -108,6 +154,12 @@ fn allowlisted(rule: &str, rel: &str) -> bool {
         .find(|(r, _)| *r == rule)
         .map(|(_, files)| files.contains(&rel))
         .unwrap_or(false)
+}
+
+/// True for files under an integration-test tree (`tests/` at the root
+/// or inside a crate). L003 leaves those to L008's atomics audit.
+pub(crate) fn is_test_path(rel: &str) -> bool {
+    rel.starts_with("tests/") || rel.contains("/tests/")
 }
 
 fn in_scope_l001(rel: &str) -> bool {
@@ -143,7 +195,7 @@ pub fn check_file(rel: &str, source: &str) -> Vec<Finding> {
     if in_core(rel) && !allowlisted("L002", rel) {
         l002(rel, &stripped, &mask, &orig, &mut out);
     }
-    if !allowlisted("L003", rel) {
+    if !is_test_path(rel) && !allowlisted("L003", rel) {
         l003(rel, &stripped, &mask, &orig, &mut out);
     }
     if in_core_or_types(rel) && !allowlisted("L004", rel) {
@@ -235,7 +287,7 @@ fn emit(
 
 /// True when `line[idx..]` starts with `pat` at an identifier boundary on
 /// both sides.
-fn ident_bounded(line: &str, idx: usize, len: usize) -> bool {
+pub(crate) fn ident_bounded(line: &str, idx: usize, len: usize) -> bool {
     let before_ok = idx == 0
         || !line[..idx]
             .chars()
@@ -251,7 +303,7 @@ fn ident_bounded(line: &str, idx: usize, len: usize) -> bool {
 }
 
 /// All identifier-bounded occurrences of `name` in `line`.
-fn ident_occurrences(line: &str, name: &str) -> Vec<usize> {
+pub(crate) fn ident_occurrences(line: &str, name: &str) -> Vec<usize> {
     let mut found = Vec::new();
     let mut from = 0usize;
     while let Some(off) = line[from..].find(name) {

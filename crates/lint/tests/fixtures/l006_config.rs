@@ -1,0 +1,24 @@
+//! L006 fixture, config side: structs feeding the `FpCtx` defined in
+//! `l006_engine.rs`. Seeded violations:
+//!   line 12 — `fresh_knob` misses the fingerprint chain entirely
+//!   line 16 — `reasonless` is annotated, but without a reason
+//!   line 23 — `dead` in the nested struct is never fingerprinted
+
+pub struct InferenceConfig {
+    /// Mixed into `fp_alpha`.
+    pub alpha: f64,
+    /// Reached through the helper called by `fp_nested`.
+    pub nested: NestedConfig,
+    pub fresh_knob: bool,
+    /// Deliberately excluded, with a reason: fine.
+    // lint: allow(fp-excluded, display-only knob; it never changes stage outputs)
+    pub verbosity: u8,
+    pub reasonless: u8, // lint: allow(fp-excluded)
+}
+
+pub struct NestedConfig {
+    /// Covered via `helper`.
+    pub knob: u32,
+    /// Never read by any fingerprint function.
+    pub dead: u32,
+}

@@ -1,0 +1,38 @@
+//! L006 fixture, engine side: `FpCtx`, a `cfg_fp:` stage registry, and
+//! the fingerprint functions. The config structs live in
+//! `l006_config.rs` — coverage is checked across the two files.
+
+struct FpCtx<'c> {
+    cfg: &'c InferenceConfig,
+    prefix_fp: u64,
+}
+
+struct StageSpec {
+    name: &'static str,
+    cfg_fp: fn(&FpCtx) -> u64,
+}
+
+static STAGES: &[StageSpec] = &[
+    StageSpec {
+        name: "s1",
+        cfg_fp: fp_alpha,
+    },
+    StageSpec {
+        name: "s2",
+        cfg_fp: fp_nested,
+    },
+];
+
+fn fp_alpha(ctx: &FpCtx) -> u64 {
+    ctx.cfg.alpha.to_bits() ^ ctx.prefix_fp
+}
+
+fn fp_nested(ctx: &FpCtx) -> u64 {
+    helper(ctx)
+}
+
+/// Not registered itself; reachable from `fp_nested`, so the fields it
+/// reads still count as covered.
+fn helper(ctx: &FpCtx) -> u64 {
+    u64::from(ctx.cfg.nested.knob)
+}

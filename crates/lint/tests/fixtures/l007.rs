@@ -1,0 +1,26 @@
+//! L007 fixture. Under an allowlisted label the seeded violations are:
+//!   line 11 — `unsafe impl Sync` with no SAFETY of its own (the walk
+//!             up stops at the `unsafe impl Send` code line)
+//!   line 19 — unsafe block with no SAFETY anywhere nearby
+//! Under a non-allowlisted label every unsafe line is a finding.
+
+pub struct Wrapper(*mut u8);
+
+// SAFETY: the pointer is never dereferenced through a shared handle.
+unsafe impl Send for Wrapper {}
+unsafe impl Sync for Wrapper {}
+
+pub fn read(w: &Wrapper) -> u8 {
+    // SAFETY: valid for reads by construction of Wrapper.
+    unsafe { *w.0 }
+}
+
+pub fn write(w: &Wrapper, v: u8) {
+    unsafe {
+        *w.0 = v;
+    }
+}
+
+pub fn trailing(w: &Wrapper) -> u8 {
+    unsafe { *w.0 } // SAFETY: a same-line marker also satisfies the rule
+}

@@ -1,0 +1,8 @@
+//! L008 fixture, load side: the Acquire half of the `generation`
+//! handshake, in a different file of the same compilation unit.
+
+use std::sync::atomic::Ordering;
+
+pub fn observe(s: &super::State) -> u64 {
+    s.generation.load(Ordering::Acquire)
+}

@@ -1,0 +1,16 @@
+//! L008 fixture, store side. Seeded violation:
+//!   line 15 — Release store on `orphan` with no Acquire load anywhere
+//!             in the unit (the `generation` load lives in
+//!             `l008_load.rs`, proving cross-file pairing)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct State {
+    pub generation: AtomicU64,
+    pub orphan: AtomicU64,
+}
+
+pub fn publish(s: &State, g: u64) {
+    s.generation.store(g, Ordering::Release);
+    s.orphan.store(g, Ordering::Release);
+}

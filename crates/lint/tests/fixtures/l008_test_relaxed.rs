@@ -1,0 +1,16 @@
+//! L008 fixture, test-tree side. Seeded violation:
+//!   line 10 — bare Relaxed in test code
+//! Line 15 is annotated with a reason and stays silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_allowed() -> u64 {
+    // lint: allow(atomics, unique ids only; ordering is irrelevant)
+    COUNTER.fetch_add(1, Ordering::Relaxed)
+}

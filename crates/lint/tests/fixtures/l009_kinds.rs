@@ -1,0 +1,12 @@
+//! L009 fixture, tag side. Seeded violations:
+//!   line 9  — `BETA` has encode + decode but no view reference
+//!   line 11 — `ORPHAN` has no coverage at all
+
+pub mod kind {
+    /// Fully covered: encode, decode, view.
+    pub const ALPHA: u16 = 1;
+    /// Encoded and decoded, never viewed.
+    pub const BETA: u16 = 2;
+    /// Dead tag.
+    pub const ORPHAN: u16 = 3;
+}

@@ -1,0 +1,6 @@
+//! L009 fixture, view side: only `ALPHA` has a borrowed-view path.
+
+pub fn view_alpha(bytes: &[u8]) -> View {
+    let d = Decoder::open(bytes, kind::ALPHA);
+    View::from(d)
+}

@@ -1,0 +1,95 @@
+//! Lint-JSON schema stability: downstream tooling parses `--format json`
+//! output, so the exact key set, key order, and `schema_version` are
+//! pinned here. Adding a key is a compatible change (update the golden
+//! string); renaming or removing one must bump
+//! [`asrank_lint::JSON_SCHEMA_VERSION`].
+
+use asrank_lint::{render_json, Finding, Report, JSON_SCHEMA_VERSION};
+
+fn sample_report() -> Report {
+    Report {
+        findings: vec![Finding {
+            rule: "L002",
+            slug: "panics",
+            file: "crates/core/src/x.rs".into(),
+            line: 7,
+            message: "a \"quoted\" message".into(),
+            excerpt: "x.unwrap()".into(),
+        }],
+        files_scanned: 3,
+    }
+}
+
+#[test]
+fn schema_version_is_one() {
+    assert_eq!(JSON_SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn golden_json_shape() {
+    let expected = concat!(
+        "{\"tool\":\"asrank-lint\",\"schema_version\":1,\"files_scanned\":3,",
+        "\"violations\":1,\"findings\":[",
+        "{\"rule\":\"L002\",\"slug\":\"panics\",\"file\":\"crates/core/src/x.rs\",",
+        "\"line\":7,\"message\":\"a \\\"quoted\\\" message\",\"excerpt\":\"x.unwrap()\"}",
+        "]}\n"
+    );
+    assert_eq!(render_json(&sample_report()), expected);
+}
+
+#[test]
+fn golden_json_empty_report() {
+    let report = Report {
+        findings: vec![],
+        files_scanned: 12,
+    };
+    assert_eq!(
+        render_json(&report),
+        "{\"tool\":\"asrank-lint\",\"schema_version\":1,\"files_scanned\":12,\
+         \"violations\":0,\"findings\":[]}\n"
+    );
+}
+
+#[test]
+fn json_parses_as_object_with_expected_keys() {
+    // No JSON dependency by design; a bracket/quote audit keeps the
+    // output structurally valid without one.
+    let text = render_json(&sample_report());
+    let (mut depth_obj, mut depth_arr, mut in_str, mut esc) = (0i32, 0i32, false, false);
+    for c in text.trim_end().chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        assert!(depth_obj >= 0 && depth_arr >= 0, "unbalanced at `{c}`");
+    }
+    assert_eq!((depth_obj, depth_arr, in_str), (0, 0, false));
+    for key in [
+        "\"tool\":",
+        "\"schema_version\":",
+        "\"files_scanned\":",
+        "\"violations\":",
+        "\"findings\":",
+        "\"rule\":",
+        "\"slug\":",
+        "\"file\":",
+        "\"line\":",
+        "\"message\":",
+        "\"excerpt\":",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+}

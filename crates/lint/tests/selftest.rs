@@ -207,7 +207,72 @@ fn cli_list_rules() {
     let out = bin().arg("--list-rules").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    for id in ["L001", "L002", "L003", "L004", "L005"] {
+    for id in [
+        "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L000",
+    ] {
         assert!(text.contains(id), "{text}");
     }
+}
+
+#[test]
+fn cli_strict_audits_annotations() {
+    let dir = tmp("strict");
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        "/// Docs.\npub fn f() -> u32 {\n    // lint: allow(panics)\n    1\n}\n",
+    )
+    .unwrap();
+    // Default mode tolerates the reason-less annotation (it just doesn't
+    // suppress anything, and nothing here needs suppressing).
+    let out = bin().args(["--root", dir.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // Strict mode flags it as L000.
+    let out = bin()
+        .args(["--root", dir.to_str().unwrap(), "--strict"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("L000"), "{text}");
+    assert!(text.contains("no reason"), "{text}");
+}
+
+#[test]
+fn cli_strict_flags_unknown_slug() {
+    let dir = tmp("strict-slug");
+    fs::write(
+        dir.join("crates/core/src/lib.rs"),
+        "/// Docs.\npub fn f() -> u32 {\n    // lint: allow(nosuchrule, because)\n    1\n}\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["--root", dir.to_str().unwrap(), "--strict"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("unknown rule slug `nosuchrule`"), "{text}");
+}
+
+#[test]
+fn cli_fix_annotations_is_a_dry_run() {
+    let dir = tmp("fixann");
+    let src_path = dir.join("crates/core/src/lib.rs");
+    fs::write(
+        &src_path,
+        "/// Docs.\npub fn boom(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .unwrap();
+    let out = bin()
+        .args(["--root", dir.to_str().unwrap(), "--fix-annotations"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Exact location and the exact annotation line to paste.
+    assert!(text.contains("crates/core/src/lib.rs:2: L002 [panics]"), "{text}");
+    assert!(text.contains("// lint: allow(panics, "), "{text}");
+    // Nothing was written.
+    let src = fs::read_to_string(&src_path).unwrap();
+    assert!(!src.contains("lint: allow"), "{src}");
 }

@@ -47,9 +47,11 @@ mod sys {
         len: usize,
     }
 
-    // The mapping is immutable (PROT_READ) and private, so sharing
-    // pointers across threads is sound.
+    // SAFETY: the mapping is immutable (PROT_READ) and private; moving
+    // the raw pointer to another thread cannot race any write.
     unsafe impl Send for Mapping {}
+    // SAFETY: all access goes through `&self` reads of read-only pages,
+    // so concurrent shared use from multiple threads is sound.
     unsafe impl Sync for Mapping {}
 
     impl Mapping {

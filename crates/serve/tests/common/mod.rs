@@ -19,6 +19,7 @@ pub fn scratch(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "asrank_serve_{tag}_{}_{}",
         std::process::id(),
+        // lint: allow(atomics, the sequence only needs unique values for scratch-dir names, not ordering)
         SEQ.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).unwrap();

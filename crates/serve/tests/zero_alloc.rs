@@ -21,21 +21,31 @@ struct Counting;
 // SAFETY: delegates every operation verbatim to `System`; the only
 // addition is a relaxed counter bump on the allocating paths.
 unsafe impl GlobalAlloc for Counting {
+    // SAFETY: same contract as `System::alloc` — the layout is passed
+    // through unchanged and the result is returned as-is.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // lint: allow(atomics, the counter is only compared before/after a single-threaded loop; no ordering is needed)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as `System::alloc_zeroed`; pure delegation.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        // lint: allow(atomics, the counter is only compared before/after a single-threaded loop; no ordering is needed)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: same contract as `System::realloc`; ptr/layout/new_size
+    // are forwarded untouched.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // lint: allow(atomics, the counter is only compared before/after a single-threaded loop; no ordering is needed)
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: same contract as `System::dealloc`; pure delegation (the
+    // counter only tracks allocating paths).
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
@@ -92,11 +102,13 @@ fn warm_queries_allocate_nothing() {
     query_round(&serve, &probes, &mut sink);
     serve.answer_batch(&queries, &mut batch);
 
+    // lint: allow(atomics, same-thread read of a counter this thread bumps; no cross-thread ordering involved)
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for _ in 0..16 {
         query_round(&serve, &probes, &mut sink);
         serve.answer_batch(&queries, &mut batch);
     }
+    // lint: allow(atomics, same-thread read of a counter this thread bumps; no cross-thread ordering involved)
     let after = ALLOCATIONS.load(Ordering::Relaxed);
 
     assert!(sink != 0, "queries actually answered");
