@@ -7,14 +7,17 @@ BENCH_LINES := $(CURDIR)/target/criterion-lines.json
 BENCH_OUT ?= BENCH.json
 # The benches wired into the perf snapshot (the remaining benches —
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
-BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve
+BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve scale
 
-.PHONY: all build test test-engine lint lint-strict audit verify bench bench-cones bench-ingest bench-serve serve-smoke stage-report clean
+.PHONY: all build test test-engine lint lint-strict audit verify bench bench-cones bench-ingest bench-serve bench-scale serve-smoke stage-report clean
 
 all: build
 
+# --workspace: the root manifest is itself a package, so a bare
+# `cargo build` would skip sibling bins (notably the asrank CLI) and
+# leave stale binaries under target/release.
 build:
-	$(CARGO) build --release
+	$(CARGO) build --release --workspace
 
 test:
 	$(CARGO) test --workspace
@@ -104,6 +107,25 @@ bench-serve:
 	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench serve
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR6.json
+
+# InternetScale tier, gated: cold infer + arena build at 8k/16k/42k
+# with the 42k peak RSS measured in a child process, the blocked pair
+# merge vs the full-width counting sort at 42k, plus the micro-size
+# cone/pipeline benches so the PR5 floors and the elems/sec trajectory
+# are checked in the same snapshot. Acceptance (PR8): blocked merge
+# >= 1.3x, 42k RSS under the 8 GiB ceiling, trajectories within 70% of
+# the baseline where the baseline has the tier (new tiers warn only).
+# Micro benches run BEFORE the 42k tier: the heavy tier's sustained
+# load depresses whatever runs after it by ~30% on this host (thermal
+# / memory pressure), which would fail the micro floors spuriously.
+bench-scale:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench pipeline
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench cones
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench scale
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR5.json
 
 # End-to-end smoke of the serve tier: warm a cache with the CLI
 # (generate -> simulate -> infer --cache-dir), start `asrank serve`,

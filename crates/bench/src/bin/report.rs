@@ -3,8 +3,8 @@
 //!
 //! Usage:
 //! ```text
-//! report <e1|e2|…|e11|all> [--scale tiny|small|medium|internet] [--seed N]
-//! report stage-report [--scale tiny|small|medium|internet] [--seed N]
+//! report <e1|e2|…|e11|all> [--scale tiny|small|medium|internet|tenx] [--seed N]
+//! report stage-report [--scale tiny|small|medium|internet|tenx] [--seed N]
 //! report bench-json <criterion-lines-file> <out.json>
 //! report bench-check <new.json> <baseline.json>
 //! ```
@@ -184,6 +184,68 @@ fn bench_json(input: &str, output: &str) -> i32 {
         }
     }
 
+    // PR8 scale-tier trajectories: absolute cold-infer rates per size
+    // tier (kelems/s = path samples per wall second / 1000), recorded
+    // for the micro sizes too so bench-check can compare the whole
+    // trajectory across snapshots — a superlinear hot spot shows up as
+    // the rate collapsing between tiers.
+    for (family, group, tiers) in [
+        ("pipeline_infer_kelems_per_s", "pipeline", &["500", "1k", "2k"][..]),
+        ("scale_infer_kelems_per_s", "scale", &["8k", "16k", "42k"][..]),
+    ] {
+        for tier in tiers {
+            let bench = format!("infer/{tier}");
+            if let (Some(med), Some(elems)) = (
+                field(group, &bench, "median_ns"),
+                field(group, &bench, "throughput_elems"),
+            ) {
+                if med > 0.0 {
+                    // elems/iter over ns/iter is G-ops/s; x1e6 -> k-ops/s.
+                    ratios.push(format!(
+                        "{{\"name\":\"{family}/{tier}\",\
+                         \"baseline\":\"wall_clock\",\"ratio\":{:.2}}}",
+                        elems / med * 1.0e6
+                    ));
+                }
+            }
+        }
+    }
+
+    // PR8 cache-blocking acceptance: the blocked pair merge against the
+    // full-width counting sort on identical 42k raw pairs, and the same
+    // comparison over the whole cone build (merge + shared scan and
+    // materialization, so the end-to-end win is on record too).
+    for (family, fast, slow) in [
+        ("scale_blocked_sweep_speedup", "merge_blocked/42k", "merge_unblocked/42k"),
+        ("scale_blocked_cone_speedup", "cone_blocked/42k", "cone_unblocked/42k"),
+    ] {
+        if let (Some(slow_ns), Some(fast_ns)) = (
+            median("scale_sweep", slow),
+            median("scale_sweep", fast),
+        ) {
+            if fast_ns > 0.0 {
+                ratios.push(format!(
+                    "{{\"name\":\"{family}/42k\",\
+                     \"baseline\":\"unblocked\",\"ratio\":{:.2}}}",
+                    slow_ns / fast_ns
+                ));
+            }
+        }
+    }
+
+    // PR8 memory acceptance: headroom of the 42k cold infer under the
+    // tier's RSS ceiling (>= 1.0 means the peak stayed below it).
+    const SCALE_RSS_CEILING_KB: f64 = 8.0 * 1024.0 * 1024.0; // 8 GiB
+    if let Some(rss) = field("scale_rss", "infer/42k", "rss_kb") {
+        if rss > 0.0 {
+            ratios.push(format!(
+                "{{\"name\":\"scale_rss_headroom/42k\",\
+                 \"baseline\":\"ceiling_8gib\",\"ratio\":{:.2}}}",
+                SCALE_RSS_CEILING_KB / rss
+            ));
+        }
+    }
+
     // Recorded so bench-check can judge thread-scaling floors against
     // what the measuring host could physically deliver.
     let host_cpus = std::thread::available_parallelism()
@@ -232,6 +294,23 @@ fn snapshot_host_cpus(path: &str) -> usize {
         .unwrap_or(usize::MAX)
 }
 
+/// Rate (kelems/s) derivable from a snapshot's raw bench lines for
+/// `group`/`bench` — the trajectory fallback for baselines written
+/// before the derived `*_kelems_per_s` families existed.
+fn snapshot_rate_kelems(path: &str, group: &str, bench: &str) -> Option<f64> {
+    let raw = std::fs::read_to_string(path).ok()?;
+    raw.lines().map(str::trim).find_map(|l| {
+        (json_str(l, "group").as_deref() == Some(group)
+            && json_str(l, "bench").as_deref() == Some(bench))
+        .then(|| {
+            let med = json_num(l, "median_ns")?;
+            let elems = json_num(l, "throughput_elems")?;
+            (med > 0.0).then_some(elems / med * 1.0e6)
+        })
+        .flatten()
+    })
+}
+
 /// Parse the `derived` ratio entries out of a snapshot document.
 fn derived_ratios(path: &str) -> Result<Vec<(String, f64)>, String> {
     let raw = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -276,6 +355,12 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
         ("serve_rel_mlookups_per_s", 1.0),
         ("serve_cone_mchecks_per_s", 0.5),
         ("serve_rss_owned_over_mapped", 1.0),
+        // PR8 scale-tier acceptance: the cache-blocked pair merge must
+        // beat the full-width counting sort at 42k (a locality win, so
+        // it holds on one core), and the 42k cold infer must peak under
+        // the 8 GiB tier ceiling (headroom ratio >= 1.0).
+        ("scale_blocked_sweep_speedup", 1.3),
+        ("scale_rss_headroom", 1.0),
     ];
     /// The ingest floor asserts 2x thread scaling at 4 decode workers.
     /// A host with fewer cores than that cannot physically show it (the
@@ -352,6 +437,51 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
             println!("bench-check: {name} = {ratio:.2} >= {floor:.1}x");
         }
     }
+    // Elems/sec trajectory families: every size tier recorded in BOTH
+    // snapshots must retain TRAJECTORY_RETAIN of the baseline's rate.
+    // Tiers the baseline lacks are warned about, never failed — adding
+    // a new size tier must not require regenerating history. Baselines
+    // written before the derived trajectory families existed are read
+    // through their raw bench lines instead.
+    const TRAJECTORY_RETAIN: f64 = 0.7;
+    for (family, group) in [
+        ("pipeline_infer_kelems_per_s", "pipeline"),
+        ("scale_infer_kelems_per_s", "scale"),
+    ] {
+        let prefix = format!("{family}/");
+        for (name, rate) in new.iter().filter(|(n, _)| n.starts_with(&prefix)) {
+            let tier = &name[prefix.len()..];
+            let base_rate = base
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, r)| r)
+                .or_else(|| snapshot_rate_kelems(baseline_path, group, &format!("infer/{tier}")));
+            match base_rate {
+                Some(b) if b > 0.0 => {
+                    gated += 1;
+                    let floor = b * TRAJECTORY_RETAIN;
+                    if *rate < floor {
+                        eprintln!(
+                            "FAIL: trajectory {name} = {rate:.2} kelems/s fell below \
+                             {floor:.2} ({:.0}% of baseline {b:.2})",
+                            TRAJECTORY_RETAIN * 100.0
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "bench-check: trajectory {name} = {rate:.2} kelems/s \
+                             >= {floor:.2} (baseline {b:.2})"
+                        );
+                    }
+                }
+                _ => println!(
+                    "bench-check: warn: {name} has no tier in {baseline_path}; \
+                     recorded {rate:.2} kelems/s, not gated"
+                ),
+            }
+        }
+    }
+
     if gated == 0 {
         eprintln!("FAIL: {new_path} records no gated speedup family");
         return 1;
@@ -393,9 +523,9 @@ fn main() {
             "--scale" => {
                 let v = it.next().map(String::as_str).unwrap_or("");
                 match Scale::parse(v) {
-                    Some(s) => scale = s,
-                    None => {
-                        eprintln!("unknown scale {v:?} (tiny|small|medium|internet)");
+                    Ok(s) => scale = s,
+                    Err(e) => {
+                        eprintln!("{e}");
                         std::process::exit(2);
                     }
                 }
@@ -421,7 +551,7 @@ fn main() {
     let Some(id) = id else {
         eprintln!(
             "usage: report <e1..e11|all|stage-report> \
-             [--scale tiny|small|medium|internet] [--seed N]"
+             [--scale tiny|small|medium|internet|tenx] [--seed N]"
         );
         std::process::exit(2);
     };

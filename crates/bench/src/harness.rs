@@ -9,41 +9,10 @@ use asrank_types::prelude::*;
 use asrank_validation::{build_corpus, CorpusConfig, ValidationCorpus};
 use bgp_sim::{simulate, AnomalyConfig, SimConfig, SimOutput, VpSelection};
 
-/// Experiment scale, mapped to topology presets.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// ~60 ASes — smoke tests.
-    Tiny,
-    /// ~1 000 ASes — default for reports.
-    Small,
-    /// ~10 000 ASes.
-    Medium,
-    /// ~42 000 ASes (the paper's 2013 Internet). Destination-sampled.
-    Internet,
-}
-
-impl Scale {
-    /// Parse from a CLI string.
-    pub fn parse(s: &str) -> Option<Scale> {
-        match s {
-            "tiny" => Some(Scale::Tiny),
-            "small" => Some(Scale::Small),
-            "medium" => Some(Scale::Medium),
-            "internet" => Some(Scale::Internet),
-            _ => None,
-        }
-    }
-
-    /// The topology preset for this scale.
-    pub fn topology(&self) -> TopologyConfig {
-        match self {
-            Scale::Tiny => TopologyConfig::tiny(),
-            Scale::Small => TopologyConfig::small(),
-            Scale::Medium => TopologyConfig::medium(),
-            Scale::Internet => TopologyConfig::internet_2013(),
-        }
-    }
-}
+// The scale registry lives with the topology presets it names; the
+// harness re-exports it so existing `asrank_bench::harness::Scale`
+// callers keep compiling.
+pub use as_topology_gen::{Scale, ScaleParseError};
 
 /// A full experiment scenario.
 #[derive(Debug, Clone)]
@@ -71,6 +40,9 @@ impl Scenario {
             Scale::Small => (30, None),
             Scale::Medium => (120, Some(4_000)),
             Scale::Internet => (315, Some(6_000)),
+            // Paper-like VP count held at the 2013 collector population;
+            // destinations sampled harder so simulation stays tractable.
+            Scale::TenX => (315, Some(8_000)),
         };
         Scenario {
             topology: scale.topology(),
@@ -168,9 +140,11 @@ mod tests {
 
     #[test]
     fn scale_parsing() {
-        assert_eq!(Scale::parse("small"), Some(Scale::Small));
-        assert_eq!(Scale::parse("internet"), Some(Scale::Internet));
-        assert_eq!(Scale::parse("bogus"), None);
+        assert_eq!(Scale::parse("small"), Ok(Scale::Small));
+        assert_eq!(Scale::parse("internet"), Ok(Scale::Internet));
+        assert_eq!(Scale::parse("tenx"), Ok(Scale::TenX));
+        let err = Scale::parse("bogus").unwrap_err();
+        assert!(err.to_string().contains("tiny|small|medium|internet|tenx"));
     }
 
     #[test]

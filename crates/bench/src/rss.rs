@@ -10,17 +10,28 @@
 //! variant and reads the child's mark.
 
 /// The process's peak resident set size in kilobytes (`VmHWM`), or
-/// `None` on platforms without `/proc/self/status`.
+/// `None` on platforms without `/proc/self/status` (or with a status
+/// document this parser does not recognize) — never a panic, so the
+/// benches that record RSS still run on non-Linux hosts and simply
+/// skip the measurement.
 pub fn peak_rss_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
     parse_vm_hwm(&status)
 }
 
 /// Parse the `VmHWM` line out of a `/proc/<pid>/status` document.
+/// Tolerant of field-width/tab variations and unit-case differences
+/// (`kB`/`KB`/`kb`); any other unit — or a malformed value — yields
+/// `None` rather than a wrong number in a different scale.
 fn parse_vm_hwm(status: &str) -> Option<u64> {
     status.lines().find_map(|line| {
         let rest = line.strip_prefix("VmHWM:")?;
-        rest.trim().strip_suffix("kB")?.trim().parse().ok()
+        let mut fields = rest.split_whitespace();
+        let value: u64 = fields.next()?.parse().ok()?;
+        match fields.next() {
+            Some(unit) if unit.eq_ignore_ascii_case("kb") => Some(value),
+            _ => None,
+        }
     })
 }
 
@@ -37,6 +48,21 @@ mod tests {
     #[test]
     fn missing_field_is_none() {
         assert_eq!(parse_vm_hwm("Name:\tcat\n"), None);
+    }
+
+    #[test]
+    fn unit_case_variants_parse() {
+        assert_eq!(parse_vm_hwm("VmHWM:      77 KB\n"), Some(77));
+        assert_eq!(parse_vm_hwm("VmHWM:\t77 kb\n"), Some(77));
+    }
+
+    #[test]
+    fn unknown_units_and_garbage_are_none() {
+        // A different unit must not be read as kilobytes.
+        assert_eq!(parse_vm_hwm("VmHWM:\t 5 mB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t 5\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\t lots kB\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! `asrank generate` — create a ground-truth topology bundle.
 
 use crate::args::Flags;
-use as_topology_gen::{generate, save_bundle, TopologyConfig, TopologyStats};
+use as_topology_gen::{generate, save_bundle, Scale, TopologyStats};
 use std::path::PathBuf;
 
 pub fn run(args: &[String]) -> i32 {
@@ -11,13 +11,10 @@ pub fn run(args: &[String]) -> i32 {
     let Some(scale) = flags.get("scale").or(Some("small")) else {
         return 2;
     };
-    let config = match scale {
-        "tiny" => TopologyConfig::tiny(),
-        "small" => TopologyConfig::small(),
-        "medium" => TopologyConfig::medium(),
-        "internet" => TopologyConfig::internet_2013(),
-        other => {
-            eprintln!("unknown scale {other:?} (tiny|small|medium|internet)");
+    let config = match Scale::parse(scale) {
+        Ok(s) => s.topology(),
+        Err(e) => {
+            eprintln!("{e}");
             return 2;
         }
     };

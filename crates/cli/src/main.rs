@@ -54,7 +54,7 @@ const USAGE: &str = "\
 asrank — AS relationships, customer cones, and validation (IMC 2013 reproduction)
 
 subcommands:
-  generate   --scale tiny|small|medium|internet [--seed N] --out DIR
+  generate   --scale tiny|small|medium|internet|tenx [--seed N] --out DIR
   simulate   --topo DIR [--vps N] [--full-feed F] [--seed N] [--threads N]
              [--dest-sample N] [--anomalies none|realistic] --out FILE.mrt
   infer      --rib FILE.mrt [--topo DIR] [--out as-rel.txt]

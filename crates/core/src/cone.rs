@@ -531,6 +531,36 @@ impl CustomerCones {
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
         par: Parallelism,
     ) -> Self {
+        Self::bgp_observed_from_arena_with_block(arena, rels, prefixes, par, 0)
+    }
+
+    /// [`CustomerCones::bgp_observed_from_arena`] with an explicit
+    /// owner-block width for the pair merge: `0` picks a cache-sized
+    /// width automatically (the default engine path), any other value
+    /// forces that many owner ids per block. Output is bit-identical
+    /// for every width — the knob only moves the merge's working set.
+    pub fn bgp_observed_from_arena_with_block(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+        block_ids: usize,
+    ) -> Self {
+        let providers = witness_graph(arena, rels, false);
+        let pairs = sweep_pairs_blocked(arena, &providers, par, scan_descents, block_ids);
+        observed_cones(arena, pairs, prefixes, par)
+    }
+
+    /// [`CustomerCones::bgp_observed_from_arena`] forced through the
+    /// pre-PR8 single full-width counting-sort merge. Kept as the
+    /// blocked merge's equivalence oracle and the baseline the `scale`
+    /// benchmark measures the cache-blocked merge against.
+    pub fn bgp_observed_from_arena_unblocked(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
         let providers = witness_graph(arena, rels, false);
         let pairs = sweep_pairs(arena, &providers, par, scan_descents);
         observed_cones(arena, pairs, prefixes, par)
@@ -563,6 +593,34 @@ impl CustomerCones {
     /// [`CustomerCones::bgp_observed_from_arena`] for the merge
     /// strategy).
     pub fn provider_peer_observed_from_arena(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+    ) -> Self {
+        Self::provider_peer_observed_from_arena_with_block(arena, rels, prefixes, par, 0)
+    }
+
+    /// [`CustomerCones::provider_peer_observed_from_arena`] with an
+    /// explicit owner-block width for the pair merge (`0` = auto; see
+    /// [`CustomerCones::bgp_observed_from_arena_with_block`]).
+    pub fn provider_peer_observed_from_arena_with_block(
+        arena: &PathArena,
+        rels: &RelationshipMap,
+        prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
+        par: Parallelism,
+        block_ids: usize,
+    ) -> Self {
+        let graphs = witness_graph(arena, rels, true);
+        let pairs = sweep_pairs_blocked(arena, &graphs, par, scan_announcements, block_ids);
+        observed_cones(arena, pairs, prefixes, par)
+    }
+
+    /// [`CustomerCones::provider_peer_observed_from_arena`] forced
+    /// through the pre-PR8 full-width merge (equivalence oracle and
+    /// bench baseline; see
+    /// [`CustomerCones::bgp_observed_from_arena_unblocked`]).
+    pub fn provider_peer_observed_from_arena_unblocked(
         arena: &PathArena,
         rels: &RelationshipMap,
         prefixes: Option<&HashMap<Asn, Vec<Ipv4Prefix>>>,
@@ -677,16 +735,17 @@ fn witness_graph(arena: &PathArena, rels: &RelationshipMap, include_peers: bool)
     Csr::from_edges_dedup(interner.len(), &edges)
 }
 
-/// The single parallel sweep: worker shards scan contiguous path ranges
-/// of the arena once, emitting packed `(owner << 32) | member` pairs
-/// into per-shard buffers; the shard buffers concatenate in shard order
-/// and a counting-sort + dedup merge makes the result independent of
-/// both path order and thread count.
-fn sweep_pairs<F>(arena: &PathArena, witness: &Csr, par: Parallelism, scan: F) -> Vec<u64>
+/// The scan half of the sweep: worker shards scan contiguous path
+/// ranges of the arena once, emitting packed `(owner << 32) | member`
+/// pairs into per-shard buffers, concatenated in shard order. The
+/// result is unsorted and duplicate-bearing — it feeds one of the two
+/// merges below, and shard order is deterministic, so the merged output
+/// is independent of both path order and thread count.
+fn raw_sweep_pairs<F>(arena: &PathArena, witness: &Csr, par: Parallelism, scan: F) -> Vec<u64>
 where
     F: Fn(&[u32], &Csr, &mut dyn FnMut(u32, u32)) + Sync,
 {
-    let per_shard = par::map_ranges(par, 32, arena.len(), |range| {
+    par::map_ranges(par, 32, arena.len(), |range| {
         let mut local: Vec<u64> = Vec::new();
         for p in range {
             scan(arena.path(p), witness, &mut |owner, member| {
@@ -694,11 +753,46 @@ where
             });
         }
         local
-    });
-    let mut pairs: Vec<u64> = per_shard.concat();
-    sort_pairs(&mut pairs, arena.num_ases());
-    pairs.dedup();
-    pairs
+    })
+    .concat()
+}
+
+/// The single parallel sweep with the pre-PR8 merge: one full-width
+/// counting sort over the whole pair list, then dedup.
+fn sweep_pairs<F>(arena: &PathArena, witness: &Csr, par: Parallelism, scan: F) -> Vec<u64>
+where
+    F: Fn(&[u32], &Csr, &mut dyn FnMut(u32, u32)) + Sync,
+{
+    let raw = raw_sweep_pairs(arena, witness, par, scan);
+    merge_sweep_pairs_unblocked(&raw, arena.num_ases())
+}
+
+/// [`sweep_pairs`] with the merge replaced by the cache-blocked
+/// per-owner-block counting sort of [`merge_sweep_pairs_blocked`].
+/// `block_ids == 0` sizes blocks automatically from the pair count;
+/// the output is bit-identical to [`sweep_pairs`] for every width.
+fn sweep_pairs_blocked<F>(
+    arena: &PathArena,
+    witness: &Csr,
+    par: Parallelism,
+    scan: F,
+    block_ids: usize,
+) -> Vec<u64>
+where
+    F: Fn(&[u32], &Csr, &mut dyn FnMut(u32, u32)) + Sync,
+{
+    let raw = raw_sweep_pairs(arena, witness, par, scan);
+    merge_sweep_pairs_blocked(&raw, arena.num_ases(), block_ids, par)
+}
+
+/// The descent scan of the BGP-observed sweep, stopped before the
+/// merge: raw packed pairs exactly as [`raw_sweep_pairs`] emits them.
+/// Benchmark surface — the `scale` bench feeds the same raw pairs to
+/// [`merge_sweep_pairs_blocked`] and [`merge_sweep_pairs_unblocked`]
+/// so the two merges are timed on identical input.
+pub fn bgp_raw_sweep_pairs(arena: &PathArena, rels: &RelationshipMap, par: Parallelism) -> Vec<u64> {
+    let providers = witness_graph(arena, rels, false);
+    raw_sweep_pairs(arena, &providers, par, scan_descents)
 }
 
 /// Sort packed `(owner << 32) | member` pairs ascending via a two-pass
@@ -741,6 +835,228 @@ fn sort_pairs(pairs: &mut Vec<u64>, n: usize) {
         pairs[*c as usize] = e;
         *c += 1;
     }
+}
+
+/// Presence-bitmap budget for the automatic block width: one block's
+/// `width × num_ases` bitmap is sized to ~256 KiB — L2-resident on
+/// current cores. Cache-sized, not core-sized: the win is that every
+/// dedup write lands in a resident bitmap, so it holds on one core
+/// exactly as on many.
+const SWEEP_BLOCK_BITMAP_BYTES: usize = 256 * 1024;
+
+/// The pre-PR8 merge on raw sweep pairs: one full-width two-pass
+/// counting sort plus dedup. Kept callable as the blocked merge's
+/// benchmark baseline and equivalence oracle.
+pub fn merge_sweep_pairs_unblocked(raw: &[u64], num_ases: usize) -> Vec<u64> {
+    let mut pairs = raw.to_vec();
+    sort_pairs(&mut pairs, num_ases);
+    pairs.dedup();
+    pairs
+}
+
+/// Cache-blocked merge of raw sweep pairs: partition by owner-id block,
+/// then collapse each block through a presence bitmap of
+/// `block_width × num_ases` bits. Setting a bit per raw pair dedups as
+/// a side effect, and walking the bitmap's owner rows emits the
+/// surviving pairs already sorted — the sort pass disappears entirely.
+/// Blocks own disjoint ascending owner ranges, so the per-block outputs
+/// concatenate into exactly the globally sorted, deduplicated pair list
+/// — bit-identical to [`merge_sweep_pairs_unblocked`] for every
+/// `block_ids` (`0` = automatic cache-sized width).
+///
+/// Why this is faster at scale: raw sweeps repeat each (owner, member)
+/// pair once per witnessing path, so the raw list is many times larger
+/// than its unique survivors. The full-width sort pays two counting
+/// passes over *every* repeat; the bitmap pays one resident bit-set per
+/// repeat and then walks bits, never touching the repeats again. The
+/// bitmap only stays resident because blocking bounds it — the
+/// full-width equivalent (`num_ases²` bits) would thrash exactly like
+/// the scatter it replaces.
+pub fn merge_sweep_pairs_blocked(
+    raw: &[u64],
+    num_ases: usize,
+    block_ids: usize,
+    par: Parallelism,
+) -> Vec<u64> {
+    let total = raw.len();
+    let n = num_ases;
+    if total == 0 {
+        return Vec::new();
+    }
+    // Owner-block width: forced, or sized so one block's bitmap fits
+    // the cache budget. The automatic width is rounded to a power of
+    // two so the hot partition passes divide by shifting; forced widths
+    // (a test/config knob) keep exact ragged boundaries and real
+    // division.
+    let auto_shift = if block_ids == 0 {
+        let w = (SWEEP_BLOCK_BITMAP_BYTES * 8 / n.max(1)).clamp(1, n.max(1));
+        Some(w.next_power_of_two().trailing_zeros())
+    } else {
+        None
+    };
+    let width = match auto_shift {
+        Some(shift) => 1usize << shift,
+        None => block_ids.min(n.max(1)),
+    };
+    let nblocks = n.div_ceil(width).max(1);
+    if nblocks <= 1 {
+        return merge_sweep_pairs_unblocked(raw, n);
+    }
+    let (seg_starts, parts) = match auto_shift {
+        Some(shift) => partition_by_block(raw, nblocks, move |e| ((e >> 32) >> shift) as usize),
+        None => partition_by_block(raw, nblocks, move |e| (e >> 32) as usize / width),
+    };
+    // Collapse every block independently. Owners never cross a block
+    // boundary, so per-block dedup is global dedup, and block order is
+    // id order. Each worker reuses one bitmap (and the counting-sort
+    // scratch for sparse blocks) across its whole range of blocks.
+    let words_per_row = n.div_ceil(64);
+    par::map_ranges(par, 1, nblocks, |range| {
+        let mut out: Vec<u64> = Vec::new();
+        let mut bits: Vec<u64> = Vec::new();
+        let mut scratch: Vec<u64> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for b in range {
+            let seg = &parts[seg_starts[b]..seg_starts[b + 1]];
+            if seg.is_empty() {
+                continue;
+            }
+            let base = b * width;
+            let rows = width.min(n - base);
+            // Sparse blocks: the O(pairs) counting sort beats zeroing
+            // and walking a bitmap the pairs barely populate. Either
+            // path produces the identical sorted, deduplicated tail.
+            if seg.len() * 4 < rows * words_per_row {
+                let before = out.len();
+                sort_block_into(seg, &mut out, &mut scratch, &mut counts);
+                dedup_from(&mut out, before);
+                continue;
+            }
+            bits.clear();
+            bits.resize(rows * words_per_row, 0);
+            for &e in seg {
+                let o = (e >> 32) as usize - base;
+                let m = (e & 0xFFFF_FFFF) as usize;
+                bits[o * words_per_row + m / 64] |= 1u64 << (m % 64);
+            }
+            for local_o in 0..rows {
+                let owner_hi = ((base + local_o) as u64) << 32;
+                let row = &bits[local_o * words_per_row..(local_o + 1) * words_per_row];
+                for (wi, &w) in row.iter().enumerate() {
+                    let mut word = w;
+                    while word != 0 {
+                        let m = wi as u64 * 64 + word.trailing_zeros() as u64;
+                        out.push(owner_hi | m);
+                        word &= word - 1;
+                    }
+                }
+            }
+        }
+        out
+    })
+    .concat()
+}
+
+/// Partition packed pairs into per-owner-block segments: one histogram
+/// pass, one scatter pass with `nblocks` streaming cursors. The cursor
+/// table and the block tails it appends to stay cache-resident — unlike
+/// the full-width counting-sort scatter, whose write targets span the
+/// entire pair list. Generic over the block-index function so the
+/// automatic power-of-two width monomorphizes to a shift while forced
+/// widths keep real division.
+fn partition_by_block<F>(raw: &[u64], nblocks: usize, block_of: F) -> (Vec<usize>, Vec<u64>)
+where
+    F: Fn(u64) -> usize,
+{
+    let mut seg_starts = vec![0usize; nblocks + 1];
+    for &e in raw {
+        seg_starts[block_of(e) + 1] += 1;
+    }
+    for b in 1..=nblocks {
+        seg_starts[b] += seg_starts[b - 1];
+    }
+    let mut parts: Vec<u64> = vec![0; raw.len()];
+    let mut cursor: Vec<usize> = seg_starts[..nblocks].to_vec();
+    for &e in raw {
+        let b = block_of(e);
+        parts[cursor[b]] = e;
+        cursor[b] += 1;
+    }
+    (seg_starts, parts)
+}
+
+/// Sort one owner block's packed pairs ascending, appending them to
+/// `out`. Two stable counting passes, both sized to the block's live
+/// value spans (observed member range, then the block's observed owner
+/// range) rather than the full id space — `scratch` never outgrows the
+/// block and `counts` never outgrows the live span.
+fn sort_block_into(seg: &[u64], out: &mut Vec<u64>, scratch: &mut Vec<u64>, counts: &mut Vec<u32>) {
+    let before = out.len();
+    // Tiny blocks: comparison sort beats two counting passes.
+    if seg.len() <= 64 {
+        out.extend_from_slice(seg);
+        out[before..].sort_unstable();
+        return;
+    }
+    let mut min_m = u64::MAX;
+    let mut max_m = 0u64;
+    let mut min_o = u64::MAX;
+    let mut max_o = 0u64;
+    for &e in seg {
+        let m = e & 0xFFFF_FFFF;
+        let o = e >> 32;
+        min_m = min_m.min(m);
+        max_m = max_m.max(m);
+        min_o = min_o.min(o);
+        max_o = max_o.max(o);
+    }
+    let member_span = (max_m - min_m) as usize + 1;
+    let owner_span = (max_o - min_o) as usize + 1;
+    // Pass 1: stable bucket by member (low word) into scratch.
+    counts.clear();
+    counts.resize(member_span + 1, 0);
+    for &e in seg {
+        counts[((e & 0xFFFF_FFFF) - min_m) as usize + 1] += 1;
+    }
+    for i in 0..member_span {
+        counts[i + 1] += counts[i];
+    }
+    scratch.clear();
+    scratch.resize(seg.len(), 0);
+    for &e in seg {
+        let c = &mut counts[((e & 0xFFFF_FFFF) - min_m) as usize];
+        scratch[*c as usize] = e;
+        *c += 1;
+    }
+    // Pass 2: stable bucket by owner (high word), appending to `out`;
+    // the member order within each owner survives from pass 1.
+    counts.clear();
+    counts.resize(owner_span + 1, 0);
+    for &e in scratch.iter() {
+        counts[((e >> 32) - min_o) as usize + 1] += 1;
+    }
+    for i in 0..owner_span {
+        counts[i + 1] += counts[i];
+    }
+    out.resize(before + seg.len(), 0);
+    for &e in scratch.iter() {
+        let c = &mut counts[((e >> 32) - min_o) as usize];
+        out[before + *c as usize] = e;
+        *c += 1;
+    }
+}
+
+/// In-place dedup of the sorted tail `v[from..]` (the block just
+/// appended); earlier blocks are untouched and cannot share owners.
+fn dedup_from(v: &mut Vec<u64>, from: usize) {
+    let mut w = from;
+    for r in from..v.len() {
+        if w == from || v[w - 1] != v[r] {
+            v[w] = v[r];
+            w += 1;
+        }
+    }
+    v.truncate(w);
 }
 
 /// Materialize observed cones from sorted `(owner, member)` pairs:

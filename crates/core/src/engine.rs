@@ -767,11 +767,12 @@ fn run_cone_bgp(env: &Env, inputs: &[Artifact]) -> Result<Artifact, EngineError>
     let inf = as_inference(inputs, 0, "cone_bgp_observed")?;
     let arena = as_arena(inputs, 1, "cone_bgp_observed")?;
     Ok(Artifact::Cone(Arc::new(
-        CustomerCones::bgp_observed_from_arena(
+        CustomerCones::bgp_observed_from_arena_with_block(
             arena,
             &inf.relationships,
             env.prefixes.as_ref(),
             env.cfg.parallelism,
+            env.cfg.cone_sweep_block,
         ),
     )))
 }
@@ -780,11 +781,12 @@ fn run_cone_provider_peer(env: &Env, inputs: &[Artifact]) -> Result<Artifact, En
     let inf = as_inference(inputs, 0, "cone_provider_peer")?;
     let arena = as_arena(inputs, 1, "cone_provider_peer")?;
     Ok(Artifact::Cone(Arc::new(
-        CustomerCones::provider_peer_observed_from_arena(
+        CustomerCones::provider_peer_observed_from_arena_with_block(
             arena,
             &inf.relationships,
             env.prefixes.as_ref(),
             env.cfg.parallelism,
+            env.cfg.cone_sweep_block,
         ),
     )))
 }

@@ -80,6 +80,66 @@ where
     .expect("crossbeam scope failed")
 }
 
+/// Fill a pre-sized output buffer in parallel, in place: the contiguous
+/// index ranges of [`map_ranges`] each own the output span whose length
+/// `span_len` reports, and `f(range, span)` writes that span directly.
+/// Spans are carved off the front of `out` in range order, so they
+/// partition it exactly when the caller's offset table is consistent —
+/// no per-chunk buffers and no reassembly copy, which is the allocation
+/// the arena build used to pay twice (`Vec` per chunk + `concat`).
+///
+/// Determinism is inherited from the range split: each span's content
+/// depends only on its range, never on scheduling.
+pub fn fill_ranges<T, S, F>(
+    par: Parallelism,
+    min_chunk: usize,
+    n: usize,
+    out: &mut [T],
+    span_len: S,
+    f: F,
+) where
+    T: Send,
+    S: Fn(&Range<usize>) -> usize,
+    F: Fn(Range<usize>, &mut [T]) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let chunk = par.chunk_size(n, min_chunk);
+    if chunk >= n {
+        f(0..n, out);
+        return;
+    }
+    let ranges: Vec<Range<usize>> = (0..n)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(n))
+        .collect();
+    let mut rest = out;
+    let mut jobs: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let len = span_len(&r);
+        let (span, tail) = rest.split_at_mut(len);
+        jobs.push((r, span));
+        rest = tail;
+    }
+    debug_assert!(rest.is_empty(), "spans must partition the output buffer");
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = jobs
+            .into_iter()
+            .map(|(r, span)| {
+                let f = &f;
+                scope.spawn(move |_| f(r, span))
+            })
+            .collect();
+        for h in handles {
+            // lint: allow(panics, re-raises a child panic on the caller thread; swallowing it would leave the output span half-written)
+            h.join().expect("parallel worker panicked");
+        }
+    })
+    // lint: allow(panics, scope only errs when a worker panicked; the join above already re-raised it)
+    .expect("crossbeam scope failed");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,21 +108,45 @@ impl PathArena {
             a.0.cmp(&b.0).then_with(|| hops_of(a.1).cmp(hops_of(b.1)))
         });
 
-        let mut reps: Vec<u32> = Vec::new();
-        let mut multiplicity: Vec<u32> = Vec::new();
-        for &(_, si) in &order {
-            match reps.last() {
-                Some(&r) if hops_of(r) == hops_of(si) => {
-                    if let Some(m) = multiplicity.last_mut() {
-                        *m += 1;
-                    }
-                }
-                _ => {
-                    reps.push(si);
-                    multiplicity.push(1);
-                }
+        // Counting pre-pass: a sample starts a new run exactly when its
+        // prefix key or hop slice differs from its predecessor's (equal
+        // runs are contiguous after the sort, and the key comparison
+        // short-circuits almost every slice compare). Knowing the
+        // distinct-path and total-hop counts up front lets every buffer
+        // below be allocated once at its exact final size — the build
+        // used to grow reps/multiplicity by doubling and pay a second
+        // copy of `ids` through per-chunk Vecs + `concat`.
+        let new_run = |w: usize| -> bool {
+            w == 0
+                || order[w - 1].0 != order[w].0
+                || hops_of(order[w - 1].1) != hops_of(order[w].1)
+        };
+        let mut distinct = 0usize;
+        let mut total = 0usize;
+        for w in 0..order.len() {
+            if new_run(w) {
+                distinct += 1;
+                total += hops_of(order[w].1).len();
             }
         }
+
+        let mut reps: Vec<u32> = Vec::with_capacity(distinct);
+        let mut multiplicity: Vec<u32> = Vec::with_capacity(distinct);
+        let mut offsets: Vec<u32> = Vec::with_capacity(distinct + 1);
+        offsets.push(0);
+        let mut hop_cursor = 0usize;
+        for w in 0..order.len() {
+            if new_run(w) {
+                reps.push(order[w].1);
+                multiplicity.push(1);
+                hop_cursor += hops_of(order[w].1).len();
+                offsets.push(dense_id(hop_cursor));
+            } else if let Some(m) = multiplicity.last_mut() {
+                *m += 1;
+            }
+        }
+        debug_assert_eq!(reps.len(), distinct);
+        debug_assert_eq!(hop_cursor, total);
 
         // Ids ascend with ASN (bulk interner) — the property the whole
         // determinism story above rests on.
@@ -131,28 +155,26 @@ impl PathArena {
                 .flat_map(|&si| hops_of(si).iter().map(|&v| Asn(v))),
         );
 
-        let mut offsets: Vec<u32> = Vec::with_capacity(reps.len() + 1);
-        offsets.push(0);
-        let mut total = 0usize;
-        for &si in &reps {
-            total += hops_of(si).len();
-            offsets.push(dense_id(total));
-        }
-
         // Map hops to dense ids over contiguous path ranges in parallel,
-        // reassembled in range order.
-        let chunks = par::map_ranges(par, 256, reps.len(), |range| {
-            let span = (offsets[range.end] - offsets[range.start]) as usize;
-            let mut buf: Vec<u32> = Vec::with_capacity(span);
-            for d in range {
-                for &v in hops_of(reps[d]) {
-                    // lint: allow(panics, interner seeded from these same distinct paths covers every hop)
-                    buf.push(interner.get(Asn(v)).expect("interned"));
+        // each range writing its offset-table span of `ids` in place.
+        let mut ids: Vec<u32> = vec![0; total];
+        par::fill_ranges(
+            par,
+            256,
+            reps.len(),
+            &mut ids,
+            |range| (offsets[range.end] - offsets[range.start]) as usize,
+            |range, span| {
+                let mut w = 0usize;
+                for d in range {
+                    for &v in hops_of(reps[d]) {
+                        // lint: allow(panics, interner seeded from these same distinct paths covers every hop)
+                        span[w] = interner.get(Asn(v)).expect("interned");
+                        w += 1;
+                    }
                 }
-            }
-            buf
-        });
-        let ids = chunks.concat();
+            },
+        );
 
         let (inv_offsets, inv_entries) = invert(&offsets, &ids, interner.len());
         PathArena {

@@ -40,6 +40,14 @@ pub struct InferenceConfig {
     /// identical for every value.
     // lint: allow(fp-excluded, thread budget only — outputs are bit-identical for every value, so it must not invalidate cached artifacts)
     pub parallelism: Parallelism,
+    /// Owner-block width (in dense ids) for the cone sweep's pair
+    /// merge. `0` (the default) sizes blocks automatically so each
+    /// block's sort working set stays cache-resident; any other value
+    /// forces that width. A layout knob like `parallelism`: the merged
+    /// pairs are bit-identical for every value, so it must not
+    /// invalidate cached artifacts.
+    // lint: allow(fp-excluded, cache-blocking width only — outputs are bit-identical for every value, so it must not invalidate cached artifacts)
+    pub cone_sweep_block: usize,
 }
 
 /// Per-step ablation switches (used by the E12 ablation experiment).
@@ -70,6 +78,7 @@ impl Default for InferenceConfig {
             degree_flip_ratio: 10.0,
             ablation: Ablation::default(),
             parallelism: Parallelism::default(),
+            cone_sweep_block: 0,
         }
     }
 }

@@ -194,6 +194,38 @@ impl TopologyConfig {
         }
     }
 
+    /// ≈ 400 000-AS stress topology — ten times the 2013 Internet, for
+    /// forward-looking scaling claims ("does it stay linear past the
+    /// real table?"). Class shares follow [`TopologyConfig::internet_2013`]
+    /// with the clique held at paper size; peering probabilities shrink
+    /// so per-AS adjacency stays realistic as the population grows.
+    pub fn ten_x() -> Self {
+        TopologyConfig {
+            mix: ClassMix {
+                tier1: 13,
+                large_transit: 900,
+                mid_transit: 14_000,
+                small_transit: 39_000,
+                content: 16_000,
+                stubs: 330_000,
+            },
+            regions: 12,
+            cross_region_prob: 0.1,
+            mean_providers_stub: 1.8,
+            mean_providers_transit: 2.1,
+            peer_prob_large: 0.08,
+            peer_prob_mid: 0.0012,
+            peer_prob_content: 0.0004,
+            ixp: IxpConfig {
+                count: 40,
+                mean_members: 300,
+                peering_prob: 0.01,
+            },
+            mean_prefixes_stub: 1.5,
+            sibling_fraction: 0.006,
+        }
+    }
+
     /// Scale every class count by `factor`, keeping probabilities; useful
     /// for size-sweep benches.
     pub fn scaled(&self, factor: f64) -> Self {

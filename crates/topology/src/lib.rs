@@ -37,7 +37,9 @@ pub mod stats;
 pub use config::{ClassMix, IxpConfig, TopologyConfig};
 pub use evolution::{evolve, EvolutionConfig};
 pub mod sampling;
+pub mod scale;
 pub use generator::{generate, GeneratedTopology};
+pub use scale::{Scale, ScaleParseError};
 pub use io::{load_bundle, save_bundle, BundleError};
 pub use realism::{check_realism, RealismReport};
 pub use stats::TopologyStats;

@@ -1,0 +1,107 @@
+//! Named experiment scales, shared by the CLI, the bench harness, and
+//! the report tooling — one registry of tier names, so a new tier (or a
+//! renamed one) propagates to every `--scale` flag at once.
+
+use crate::config::TopologyConfig;
+use std::fmt;
+
+/// Experiment scale, mapped to topology presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~60 ASes — smoke tests.
+    Tiny,
+    /// ~1 000 ASes — default for reports.
+    Small,
+    /// ~10 000 ASes.
+    Medium,
+    /// ~42 000 ASes (the paper's 2013 Internet). Destination-sampled.
+    Internet,
+    /// ~400 000 ASes — ten times the 2013 Internet, the forward-looking
+    /// stress tier. Destination-sampled.
+    TenX,
+}
+
+/// A `--scale` string that names no known tier. Carries the offending
+/// input and renders the full tier list, so a typo is distinguishable
+/// from an unset flag and the caller never has to hard-code the names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleParseError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl fmt::Display for ScaleParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scale {:?} (valid tiers: {})",
+            self.input,
+            Scale::NAMES.join("|")
+        )
+    }
+}
+
+impl std::error::Error for ScaleParseError {}
+
+impl Scale {
+    /// Every valid tier name, in ascending size order — the single
+    /// source for usage strings and error messages.
+    pub const NAMES: [&'static str; 5] = ["tiny", "small", "medium", "internet", "tenx"];
+
+    /// Parse from a CLI string; the error lists the valid tier names.
+    pub fn parse(s: &str) -> Result<Scale, ScaleParseError> {
+        match s {
+            "tiny" => Ok(Scale::Tiny),
+            "small" => Ok(Scale::Small),
+            "medium" => Ok(Scale::Medium),
+            "internet" => Ok(Scale::Internet),
+            "tenx" => Ok(Scale::TenX),
+            _ => Err(ScaleParseError {
+                input: s.to_string(),
+            }),
+        }
+    }
+
+    /// The topology preset for this scale.
+    pub fn topology(&self) -> TopologyConfig {
+        match self {
+            Scale::Tiny => TopologyConfig::tiny(),
+            Scale::Small => TopologyConfig::small(),
+            Scale::Medium => TopologyConfig::medium(),
+            Scale::Internet => TopologyConfig::internet_2013(),
+            Scale::TenX => TopologyConfig::ten_x(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_name_round_trips() {
+        for name in Scale::NAMES {
+            let scale = Scale::parse(name).expect("listed names must parse");
+            assert!(scale.topology().mix.total() > 0);
+        }
+    }
+
+    #[test]
+    fn unknown_names_report_the_tier_list() {
+        let err = Scale::parse("big").unwrap_err();
+        assert_eq!(err.input, "big");
+        let msg = err.to_string();
+        for name in Scale::NAMES {
+            assert!(msg.contains(name), "{msg:?} must list {name}");
+        }
+    }
+
+    #[test]
+    fn tiers_ascend_in_size() {
+        let totals: Vec<usize> = Scale::NAMES
+            .iter()
+            .map(|n| Scale::parse(n).unwrap().topology().mix.total())
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] < w[1]), "{totals:?}");
+    }
+}
