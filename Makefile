@@ -7,9 +7,9 @@ BENCH_LINES := $(CURDIR)/target/criterion-lines.json
 BENCH_OUT ?= BENCH.json
 # The benches wired into the perf snapshot (the remaining benches —
 # clique, mrt, baselines, trie, stability — run via `cargo bench` as usual).
-BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve scale
+BENCHES := cones sanitize pipeline propagation ingest warm_vs_cold serve scale delta
 
-.PHONY: all build test test-engine lint lint-strict audit verify bench bench-cones bench-ingest bench-serve bench-scale serve-smoke stage-report clean
+.PHONY: all build test test-engine lint lint-strict audit verify bench bench-cones bench-ingest bench-serve bench-scale bench-delta serve-smoke stage-report clean
 
 all: build
 
@@ -126,6 +126,18 @@ bench-scale:
 	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench scale
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
 	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR5.json
+
+# Incremental tier, gated: delta refresh after 1%/5%/20% churn batches
+# vs the cold pipeline at the 8k tier. Acceptance (PR9): the
+# multiplicity-preserving 1%-churn refresh must cost at most 10% of a
+# cold run (delta_over_cold_ratio/1pct <= 0.10); the 5%/20% structural
+# churn points are recorded ungated to document the degradation curve.
+bench-delta:
+	mkdir -p target
+	rm -f $(BENCH_LINES)
+	CRITERION_JSON=$(BENCH_LINES) $(CARGO) bench -p asrank-bench --bench delta
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-json $(BENCH_LINES) $(BENCH_OUT)
+	$(CARGO) run --release -p asrank-bench --bin report -- bench-check $(BENCH_OUT) BENCH_PR9.json
 
 # End-to-end smoke of the serve tier: warm a cache with the CLI
 # (generate -> simulate -> infer --cache-dir), start `asrank serve`,

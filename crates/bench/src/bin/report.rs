@@ -246,6 +246,26 @@ fn bench_json(input: &str, output: &str) -> i32 {
         }
     }
 
+    // PR9 incremental acceptance: the delta refresh after a churn batch
+    // as a fraction of the cold pipeline at the same tier (lower is
+    // better — the only derived family where bench-check applies a
+    // ceiling instead of a floor). 1% is the gated multiplicity-
+    // preserving point; 5%/20% document the structural-churn
+    // degradation curve.
+    if let Some(cold) = median("delta", "cold/8k") {
+        for churn in ["1pct", "5pct", "20pct"] {
+            if let Some(delta) = median("delta", &format!("delta_{churn}/8k")) {
+                if cold > 0.0 {
+                    ratios.push(format!(
+                        "{{\"name\":\"delta_over_cold_ratio/{churn}\",\
+                         \"baseline\":\"cold\",\"ratio\":{:.3}}}",
+                        delta / cold
+                    ));
+                }
+            }
+        }
+    }
+
     // Recorded so bench-check can judge thread-scaling floors against
     // what the measuring host could physically deliver.
     let host_cpus = std::thread::available_parallelism()
@@ -435,6 +455,24 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
             failed = true;
         } else {
             println!("bench-check: {name} = {ratio:.2} >= {floor:.1}x");
+        }
+    }
+    /// Cost-ratio ceilings (lower is better), matched by exact name:
+    /// the PR9 incremental acceptance — a delta refresh after the
+    /// multiplicity-preserving 1%-churn batch must cost at most 10% of
+    /// a cold run. The 5%/20% structural-churn ratios are recorded but
+    /// not gated; full structure churn legitimately approaches 1.0.
+    const CEILINGS: &[(&str, f64)] = &[("delta_over_cold_ratio/1pct", 0.10)];
+    for &(name, ceiling) in CEILINGS {
+        let Some((_, ratio)) = new.iter().find(|(n, _)| n == name) else {
+            continue;
+        };
+        gated += 1;
+        if *ratio > ceiling {
+            eprintln!("FAIL: {name} = {ratio:.3} exceeded the {ceiling:.2} ceiling");
+            failed = true;
+        } else {
+            println!("bench-check: {name} = {ratio:.3} <= {ceiling:.2}");
         }
     }
     // Elems/sec trajectory families: every size tier recorded in BOTH

@@ -12,4 +12,5 @@ pub mod serve;
 pub mod realism;
 pub mod simulate;
 pub mod stability;
+pub mod timeline;
 pub mod validate;

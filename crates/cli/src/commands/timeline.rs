@@ -1,0 +1,147 @@
+//! `asrank timeline` — replay a RIB plus a sequence of BGP update dumps
+//! through one incremental [`DeltaSession`], reporting the clique, the
+//! relationship mix, and the top customer cones at every snapshot.
+//!
+//! The first positional argument is the RIB (TABLE_DUMP_V2 MRT); each
+//! further positional is a BGP4MP update dump folded into one
+//! [`UpdateBatch`] and applied in order. After each batch the session
+//! refreshes, recomputing only the stages the batch dirtied — the
+//! per-snapshot line reports how much of the DAG that was. Snapshots
+//! are byte-identical to cold runs over the same final path set (pinned
+//! by the `delta_equivalence` suite), so the trajectories printed here
+//! are exactly what `asrank infer` would report at each instant.
+
+use crate::args::{Flags, CACHE_SWITCHES};
+use crate::snapshot::{apply_cache_flags, load_rib};
+use asrank_core::delta::DeltaSession;
+use asrank_core::pipeline::InferenceConfig;
+use asrank_core::rank_ases;
+use asrank_types::Parallelism;
+use mrt_codec::read_update_batch;
+
+const USAGE: &str = "usage: asrank timeline RIB.mrt UPDATES.mrt... \
+[--threads N|auto] [--cache-dir DIR] [--no-cache] [--stage-report FILE.json]";
+
+pub fn run(args: &[String]) -> i32 {
+    // Leading positionals (the dump files), then ordinary flags.
+    let split = args
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(args.len());
+    let (dumps, rest) = args.split_at(split);
+    if dumps.len() < 2 {
+        eprintln!("{USAGE}");
+        return 2;
+    }
+    let Some(flags) = Flags::parse_with_switches(rest, CACHE_SWITCHES) else {
+        return 2;
+    };
+    let Some(threads) = flags.get_or("threads", Parallelism::auto()) else {
+        return 2;
+    };
+    apply_cache_flags(&flags);
+
+    let paths = match load_rib(&dumps[0], threads) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    let mut cfg = InferenceConfig::default();
+    cfg.parallelism = threads;
+    let mut session = match DeltaSession::new(paths, cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("timeline session failed: {e}");
+            return 1;
+        }
+    };
+    if print_snapshot(&session, 0, &dumps[0], None) != 0 {
+        return 1;
+    }
+
+    let mut reports = vec![session.stage_report().to_json()];
+    for (i, dump) in dumps[1..].iter().enumerate() {
+        let bytes = match std::fs::read(dump) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read {dump}: {e}");
+                return 1;
+            }
+        };
+        let batch = match read_update_batch(&bytes, threads) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot decode {dump}: {e}");
+                return 1;
+            }
+        };
+        let churn = batch.len();
+        if let Err(e) = session.apply(&batch) {
+            eprintln!("applying {dump} failed: {e}");
+            return 1;
+        }
+        let outcome = match session.refresh() {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("refresh after {dump} failed: {e}");
+                return 1;
+            }
+        };
+        let detail = format!(
+            "churn {churn} | recomputed {}/{} stages",
+            outcome.recomputed,
+            outcome.recomputed + outcome.skipped
+        );
+        if print_snapshot(&session, i + 1, dump, Some(&detail)) != 0 {
+            return 1;
+        }
+        reports.push(session.stage_report().to_json());
+    }
+
+    if let Some(path) = flags.get("stage-report") {
+        // One JSON array, one stage report per snapshot, in replay order.
+        let json = format!("[\n{}\n]\n", reports.join(",\n"));
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write stage report {path}: {e}");
+            return 1;
+        }
+        println!("wrote {} stage reports to {path}", reports.len());
+    }
+    0
+}
+
+/// One per-snapshot trajectory line: sample counts, clique, relationship
+/// mix, and the five largest recursive customer cones.
+fn print_snapshot(session: &DeltaSession, idx: usize, source: &str, delta: Option<&str>) -> i32 {
+    let (inference, cones, degrees) =
+        match (session.inference(), session.cones(), session.degrees()) {
+            (Ok(i), Ok(c), Ok(d)) => (i, c, d),
+            (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => {
+                eprintln!("snapshot {idx} artifacts unavailable: {e}");
+                return 1;
+            }
+        };
+    let (c2p, p2p, s2s) = inference.relationships.counts();
+    let ranked = rank_ases(&cones.0, &degrees);
+    let top: Vec<String> = ranked
+        .iter()
+        .take(5)
+        .map(|r| format!("{}:{}", r.asn, r.cone.ases))
+        .collect();
+    let label = if idx == 0 { "rib" } else { "updates" };
+    print!(
+        "snapshot {idx} ({label} {source}): paths {} in / {} clean | clique {:?} | \
+         c2p {c2p} p2p {p2p} s2s {s2s} | top cones {}",
+        inference.report.sanitize.input_paths,
+        inference.report.sanitize.output_paths,
+        inference.clique,
+        top.join(" "),
+    );
+    match delta {
+        Some(d) => println!(" | {d}"),
+        None => println!(" | cold"),
+    }
+    0
+}

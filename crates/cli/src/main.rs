@@ -34,6 +34,7 @@ fn main() {
         Some("rank") => commands::rank::run(&argv[1..]),
         Some("realism") => commands::realism::run(&argv[1..]),
         Some("stability") => commands::stability::run(&argv[1..]),
+        Some("timeline") => commands::timeline::run(&argv[1..]),
         Some("--help") | Some("-h") | None => {
             eprintln!("{USAGE}");
             if argv.is_empty() {
@@ -64,6 +65,8 @@ subcommands:
   validate   --inferred as-rel.txt|FILE.mrt --topo DIR [--corpus-seed N]
   rank       --rib FILE.mrt [--topo DIR] [--top N] [--threads N|auto]
   stability  --rib FILE.mrt [--subsamples K] [--seed N] [--threads N|auto]
+  timeline   RIB.mrt UPDATES.mrt... [--threads N|auto] [--cache-dir DIR]
+             [--stage-report FILE.json]
   depeer     --topo DIR [--a ASN --b ASN] [--vps N] [--seed N] [--out FILE.mrt]
   diff       --old as-rel.txt|FILE.mrt --new as-rel.txt|FILE.mrt [--show N]
   realism    --topo DIR

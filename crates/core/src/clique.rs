@@ -40,13 +40,7 @@ impl Default for CliqueConfig {
 /// transit degree wins — size alone would favor accidental dense pockets
 /// of mid-size ASes over the true top of the hierarchy.
 pub fn infer_clique(paths: &SanitizedPaths, degrees: &DegreeTable, cfg: &CliqueConfig) -> Vec<Asn> {
-    let candidates: Vec<Asn> = degrees
-        .ranked()
-        .iter()
-        .copied()
-        .filter(|&a| degrees.transit_degree(a) > 0)
-        .take(cfg.candidates)
-        .collect();
+    let candidates = clique_candidates(degrees, cfg);
     if candidates.is_empty() {
         return Vec::new();
     }
@@ -67,6 +61,35 @@ pub fn infer_clique(paths: &SanitizedPaths, degrees: &DegreeTable, cfg: &CliqueC
         }
     }
 
+    clique_from_adjacency(&candidates, &adj, degrees, cfg)
+}
+
+/// Candidate list shared by [`infer_clique`] and the incremental engine:
+/// the `cfg.candidates` highest-ranked ASes with nonzero transit degree.
+pub(crate) fn clique_candidates(degrees: &DegreeTable, cfg: &CliqueConfig) -> Vec<Asn> {
+    degrees
+        .ranked()
+        .iter()
+        .copied()
+        .filter(|&a| degrees.transit_degree(a) > 0)
+        .take(cfg.candidates)
+        .collect()
+}
+
+/// The adjacency-independent core of [`infer_clique`]: given the
+/// candidate list and their observed adjacency (however it was built —
+/// a full path scan here, maintained link refcounts on the incremental
+/// path), run the deterministic Bron-Kerbosch search and tie-breaks.
+/// Splitting here keeps both callers byte-identical by construction.
+pub(crate) fn clique_from_adjacency(
+    candidates: &[Asn],
+    adj: &[HashSet<usize>],
+    degrees: &DegreeTable,
+    cfg: &CliqueConfig,
+) -> Vec<Asn> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
     // Bron-Kerbosch with pivoting, collecting maximal cliques.
     let mut best: Vec<usize> = Vec::new();
     let mut best_score: (usize, usize) = (0, 0); // (total transit degree, size)
@@ -83,7 +106,7 @@ pub fn infer_clique(paths: &SanitizedPaths, degrees: &DegreeTable, cfg: &CliqueC
     let mut r: Vec<usize> = Vec::new();
     let p: HashSet<usize> = (0..candidates.len()).collect();
     let x: HashSet<usize> = HashSet::new();
-    bron_kerbosch(&adj, &mut r, p, x, &mut |clique: &[usize]| {
+    bron_kerbosch(adj, &mut r, p, x, &mut |clique: &[usize]| {
         if cfg.require_seed && !clique.contains(&0) {
             return;
         }

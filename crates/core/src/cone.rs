@@ -347,7 +347,7 @@ impl CustomerCones {
 
         // Provider→customer edges by dense id — the orientation the
         // closure DP walks.
-        let p2c: Vec<(u32, u32)> = rels
+        let mut p2c: Vec<(u32, u32)> = rels
             .c2p_pairs()
             .map(|(c, p)| {
                 (
@@ -360,6 +360,12 @@ impl CustomerCones {
                 )
             })
             .collect();
+        // The pairs come off a hash map whose iteration order reflects
+        // insertion history, not content — two equal relationship maps
+        // can yield permuted edge lists, and that permutation would leak
+        // into Tarjan's component numbering and the member grouping.
+        // Sorting pins the whole cone layout to the map's content.
+        p2c.sort_unstable();
         let customers = Csr::from_edges(n, &p2c);
 
         // Kahn completes exactly when the digraph is acyclic — the

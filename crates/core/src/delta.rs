@@ -1,0 +1,576 @@
+//! Incremental inference sessions: absorb BGP update batches in place
+//! and re-emit snapshots that recompute only the dirty slice of the DAG.
+//!
+//! A [`DeltaSession`] is the stateful counterpart of a one-shot
+//! [`Snapshot`]: it owns the evolving sample set plus the per-sample
+//! evidence that makes small updates cheap —
+//!
+//! * one cached sanitize **fate** per sample (S1 re-derives only the
+//!   samples a batch touched, then reassembles [`SanitizedPaths`] from
+//!   the cache);
+//! * a [`MutablePathArena`] absorbing path add/remove deltas in place,
+//!   re-emitting a bit-identical arena on demand;
+//! * maintained `(vp, first hop)` distinct-prefix counters, so S6 —
+//!   the only relationship step that reads raw samples — classifies
+//!   from counters instead of re-scanning every sample.
+//!
+//! Everything else is dirty-set propagation inside the engine
+//! (`Snapshot::delta_run`): a stage whose input aspects are all clean is
+//! *injected* from the previous emission, a recomputed stage whose
+//! output equals its previous artifact cuts the propagation off, and
+//! the instrumentation records every decision as
+//! [`StageStats::delta_skipped`] / [`StageStats::delta_recomputed`]
+//! counters.
+//!
+//! Equivalence contract: after any sequence of [`DeltaSession::apply`]
+//! calls, [`DeltaSession::refresh`] leaves the session holding exactly
+//! the artifacts a cold [`Snapshot`] over the same final sample set
+//! would produce — byte-identical, at every thread count. The
+//! `delta_equivalence` proptests pin this against the [`UpdateBatch::apply`]
+//! oracle.
+//!
+//! [`StageStats::delta_skipped`]: crate::engine::StageStats::delta_skipped
+//! [`StageStats::delta_recomputed`]: crate::engine::StageStats::delta_recomputed
+
+use crate::cone::CustomerCones;
+use crate::degree::DegreeTable;
+use crate::engine::{stage_idx, Artifact, DeltaPlan, DeltaProvider, Snapshot, StageReport, StepState};
+use crate::patharena::{MutablePathArena, PathArena, PathEvent};
+use crate::pipeline::{steps, Inference, InferenceConfig};
+use crate::sanitize::{sample_fate, SampleFate, SanitizeReport, SanitizedPaths};
+use asrank_types::prelude::*;
+use asrank_types::{EngineError, FxHashMap, PathDelta, UpdateBatch};
+use std::sync::Arc;
+
+/// What one [`DeltaSession::refresh`] did: how much of the DAG the
+/// accumulated batches actually dirtied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaOutcome {
+    /// Stages that reused the previous emission's artifact.
+    pub skipped: usize,
+    /// Stages re-executed (incremental provider or full body).
+    pub recomputed: usize,
+}
+
+impl DeltaOutcome {
+    /// The dirty set: stages that could not be reused.
+    pub fn dirty_set_size(&self) -> usize {
+        self.recomputed
+    }
+}
+
+/// An inference session that folds update batches into its sample set
+/// and recomputes only the affected stages on the next emission.
+///
+/// ```
+/// use asrank_core::delta::DeltaSession;
+/// use asrank_core::pipeline::InferenceConfig;
+/// use asrank_types::{AsPath, Asn, Ipv4Prefix, PathDelta, PathSample, PathSet, UpdateBatch};
+///
+/// let paths: PathSet = [[100, 10, 1, 2, 20, 200], [200, 20, 2, 1, 10, 100]]
+///     .into_iter()
+///     .enumerate()
+///     .map(|(i, hops)| PathSample {
+///         vp: Asn(hops[0]),
+///         prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+///         path: AsPath::from_u32s(hops),
+///     })
+///     .collect();
+///
+/// let mut session = DeltaSession::new(paths, InferenceConfig::default()).unwrap();
+/// let cold = session.inference().unwrap();
+///
+/// // An empty batch dirties nothing: every stage is a delta skip.
+/// session.apply(&UpdateBatch::default()).unwrap();
+/// let outcome = session.refresh().unwrap();
+/// assert_eq!(outcome.recomputed, 0);
+/// assert!(std::sync::Arc::ptr_eq(&cold, &session.inference().unwrap()));
+/// ```
+#[derive(Clone)]
+pub struct DeltaSession {
+    /// The evolving sample set, in stable order: surviving samples keep
+    /// their positions, replaced paths are rewritten in place, new
+    /// announcements append.
+    master: PathSet,
+    /// One sanitize fate per master sample, positionally aligned.
+    fates: Vec<SampleFate>,
+    cfg: InferenceConfig,
+    /// In-place distinct-path table over the clean fates.
+    slots: MutablePathArena,
+    /// Clean samples per `(vp, first hop)` — S6's distinct-prefix
+    /// evidence (exact because `(vp, prefix)` is unique per sample).
+    via: FxHashMap<(Asn, Asn), u32>,
+    /// Clean samples per vantage point (the S6 share denominators).
+    totals: FxHashMap<Asn, u32>,
+    /// `(vp, prefix)` → position in `master`/`fates`, maintained across
+    /// batches so apply touches only the samples a batch names.
+    index: FxHashMap<(Asn, Ipv4Prefix), u32>,
+    /// Sums of the per-sample discard/rewrite counters; the structural
+    /// totals (`input_paths`/`output_paths`) are derived on emission.
+    counters: SanitizeReport,
+    /// Samples surviving sanitization.
+    clean: usize,
+    /// The previous emission's artifact per stage, in DAG order.
+    prev: Vec<Artifact>,
+    /// Instrumentation of the last emission (cold or delta).
+    last_report: StageReport,
+    tok_samples: bool,
+    tok_structure: bool,
+    tok_mult: bool,
+}
+
+impl DeltaSession {
+    /// Bind a dataset and configuration, run the cold pipeline once, and
+    /// seed the incremental evidence from its artifacts.
+    ///
+    /// Fails with a typed error when two samples share a `(vp, prefix)`
+    /// key — update folding is keyed on that pair, so a duplicated key
+    /// would make batch application ambiguous.
+    pub fn new(paths: PathSet, cfg: InferenceConfig) -> Result<Self, EngineError> {
+        let mut index: FxHashMap<(Asn, Ipv4Prefix), u32> =
+            FxHashMap::with_capacity_and_hasher(paths.len(), Default::default());
+        for (i, s) in paths.iter().enumerate() {
+            if index.insert((s.vp, s.prefix), dense_id(i)).is_some() {
+                return Err(EngineError::stage_failed(
+                    "delta_session",
+                    format!(
+                        "duplicate (vp, prefix) sample ({}, {}); update batches fold by that key",
+                        s.vp, s.prefix
+                    ),
+                ));
+            }
+        }
+
+        // Cold run: materialize all stages, keep the Arc'd artifacts.
+        let mut snap = Snapshot::new(&paths, cfg.clone());
+        let mut prev = Vec::with_capacity(Snapshot::stage_names().len());
+        for name in Snapshot::stage_names() {
+            prev.push(snap.materialize(name)?);
+        }
+        let last_report = snap.stage_report();
+        drop(snap);
+
+        let slots = match &prev[stage_idx::PATH_ARENA] {
+            Artifact::Arena(a) => MutablePathArena::from_arena(a),
+            other => {
+                return Err(EngineError::ArtifactType {
+                    stage: "delta_session".to_string(),
+                    expected: "arena".to_string(),
+                    got: other.kind().to_string(),
+                })
+            }
+        };
+
+        let mut session = DeltaSession {
+            fates: Vec::with_capacity(paths.len()),
+            master: paths,
+            cfg,
+            slots,
+            via: FxHashMap::default(),
+            totals: FxHashMap::default(),
+            index,
+            counters: SanitizeReport::default(),
+            clean: 0,
+            prev,
+            last_report,
+            tok_samples: false,
+            tok_structure: false,
+            tok_mult: false,
+        };
+        for s in session.master.iter() {
+            let fate = sample_fate(&s.path, &session.cfg.sanitize);
+            add_report(&mut session.counters, &fate.delta);
+            if let Some(path) = &fate.clean {
+                session.clean += 1;
+                if let Some(key) = vp_key(s.vp, path) {
+                    *session.via.entry(key).or_default() += 1;
+                    *session.totals.entry(s.vp).or_default() += 1;
+                }
+            }
+            session.fates.push(fate);
+        }
+        Ok(session)
+    }
+
+    /// Fold one update batch into the sample set. Evidence (fates, the
+    /// slot table, the S6 counters) is adjusted per touched sample; the
+    /// engine runs nothing until [`DeltaSession::refresh`].
+    ///
+    /// Withdraws of unknown `(vp, prefix)` keys are no-ops, matching
+    /// [`UpdateBatch::apply`]. A failure (an internal accounting
+    /// invariant violated) leaves the session unusable.
+    pub fn apply(&mut self, batch: &UpdateBatch) -> Result<(), EngineError> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // In-place pass: replacements rewrite their position, unmatched
+        // announcements append in batch (ascending key) order — exactly
+        // UpdateBatch::apply's order. Withdrawals of live keys only mark
+        // positions; the vec is compacted once afterwards.
+        let mut withdrawn: Vec<u32> = Vec::new();
+        for d in batch.iter() {
+            let (vp, prefix, delta) = (d.0, d.1, &d.2);
+            match (self.index.get(&(vp, prefix)).copied(), delta) {
+                (Some(i), PathDelta::Withdraw) => {
+                    let old = std::mem::replace(
+                        &mut self.fates[i as usize],
+                        SampleFate {
+                            clean: None,
+                            delta: SanitizeReport::default(),
+                        },
+                    );
+                    self.retire(vp, &old)?;
+                    self.tok_samples = true;
+                    withdrawn.push(i);
+                }
+                (None, PathDelta::Withdraw) => {}
+                (Some(i), PathDelta::Announce(path)) => {
+                    let i = i as usize;
+                    if self.master.samples_mut()[i].path == *path {
+                        continue;
+                    }
+                    let fate = sample_fate(path, &self.cfg.sanitize);
+                    self.admit(vp, &fate);
+                    let old = std::mem::replace(&mut self.fates[i], fate);
+                    self.retire(vp, &old)?;
+                    self.tok_samples = true;
+                    self.master.samples_mut()[i].path = path.clone();
+                }
+                (None, PathDelta::Announce(path)) => {
+                    let fate = sample_fate(path, &self.cfg.sanitize);
+                    self.admit(vp, &fate);
+                    self.tok_samples = true;
+                    self.index
+                        .insert((vp, prefix), dense_id(self.master.len()));
+                    self.master.push(PathSample {
+                        vp,
+                        prefix,
+                        path: path.clone(),
+                    });
+                    self.fates.push(fate);
+                }
+            }
+        }
+        if !withdrawn.is_empty() {
+            // Order-preserving compaction of the withdrawn positions,
+            // then an index rebuild (every position after the first
+            // withdrawal shifted).
+            withdrawn.sort_unstable();
+            let samples =
+                std::mem::replace(&mut self.master, PathSet::from_samples(Vec::new()))
+                    .into_samples();
+            let fates = std::mem::take(&mut self.fates);
+            let mut out = Vec::with_capacity(samples.len() - withdrawn.len());
+            let mut out_fates = Vec::with_capacity(out.capacity());
+            let mut w = 0usize;
+            for (pos, (s, f)) in samples.into_iter().zip(fates).enumerate() {
+                if w < withdrawn.len() && withdrawn[w] as usize == pos {
+                    w += 1;
+                    continue;
+                }
+                out.push(s);
+                out_fates.push(f);
+            }
+            self.master = PathSet::from_samples(out);
+            self.fates = out_fates;
+            self.index.clear();
+            for (i, s) in self.master.iter().enumerate() {
+                self.index.insert((s.vp, s.prefix), dense_id(i));
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-emit: run the dirty-set propagation over the accumulated
+    /// batches, replace the held artifacts, and reset the dirt tokens.
+    /// With no dirt accumulated every stage is a skip and the held
+    /// `Arc`s are reused untouched.
+    pub fn refresh(&mut self) -> Result<DeltaOutcome, EngineError> {
+        let plan = DeltaPlan {
+            samples: self.tok_samples,
+            structure: self.tok_structure,
+            mult: self.tok_mult,
+        };
+        let mut snap = Snapshot::new(&self.master, self.cfg.clone());
+        {
+            let mut provider = SessionProvider {
+                master: &self.master,
+                fates: &self.fates,
+                clean: self.clean,
+                counters: &self.counters,
+                slots: &mut self.slots,
+                via: &self.via,
+                totals: &self.totals,
+                cfg: &self.cfg,
+            };
+            snap.delta_run(&self.prev, &plan, &mut provider)?;
+        }
+        let mut prev = Vec::with_capacity(Snapshot::stage_names().len());
+        for name in Snapshot::stage_names() {
+            prev.push(snap.materialize(name)?);
+        }
+        self.prev = prev;
+        self.last_report = snap.stage_report();
+        self.tok_samples = false;
+        self.tok_structure = false;
+        self.tok_mult = false;
+        let (skipped, recomputed) = self.last_report.stages.iter().fold(
+            (0usize, 0usize),
+            |(sk, rc), &(_, s)| {
+                (
+                    sk + s.delta_skipped as usize,
+                    rc + s.delta_recomputed as usize,
+                )
+            },
+        );
+        Ok(DeltaOutcome { skipped, recomputed })
+    }
+
+    /// True when applied batches have dirtied evidence that the next
+    /// [`DeltaSession::refresh`] must propagate.
+    pub fn pending(&self) -> bool {
+        self.tok_samples || self.tok_structure || self.tok_mult
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.master.len()
+    }
+
+    /// True when the session holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.master.len() == 0
+    }
+
+    /// Instrumentation of the last emission (the cold run until the
+    /// first [`DeltaSession::refresh`]), including the per-stage
+    /// `delta_skipped` / `delta_recomputed` counters.
+    pub fn stage_report(&self) -> &StageReport {
+        &self.last_report
+    }
+
+    /// Every held artifact of the last emission, indexed like
+    /// [`Snapshot::stage_names`] — the raw form the typed accessors
+    /// draw from, exposed for frame-level equivalence checks.
+    pub fn artifacts(&self) -> &[Artifact] {
+        &self.prev
+    }
+
+    /// The sanitize counters of the current sample set, as S1 would
+    /// report them.
+    pub fn sanitize_report(&self) -> SanitizeReport {
+        SanitizeReport {
+            input_paths: self.master.len(),
+            output_paths: self.clean,
+            ..self.counters
+        }
+    }
+
+    /// The held S11 inference of the last emission.
+    pub fn inference(&self) -> Result<Arc<Inference>, EngineError> {
+        match &self.prev[stage_idx::S11_INFERENCE] {
+            Artifact::Inference(i) => Ok(Arc::clone(i)),
+            other => Err(held_type_err("inference", other)),
+        }
+    }
+
+    /// The held Tier-1 clique of the last emission.
+    pub fn clique(&self) -> Result<Arc<Vec<Asn>>, EngineError> {
+        match &self.prev[stage_idx::S3_CLIQUE] {
+            Artifact::Clique(c) => Ok(Arc::clone(c)),
+            other => Err(held_type_err("clique", other)),
+        }
+    }
+
+    /// The held degree table of the last emission.
+    pub fn degrees(&self) -> Result<Arc<DegreeTable>, EngineError> {
+        match &self.prev[stage_idx::S2_DEGREES] {
+            Artifact::Degrees(d) => Ok(Arc::clone(d)),
+            other => Err(held_type_err("degrees", other)),
+        }
+    }
+
+    /// The held path arena of the last emission.
+    pub fn arena(&self) -> Result<Arc<PathArena>, EngineError> {
+        match &self.prev[stage_idx::PATH_ARENA] {
+            Artifact::Arena(a) => Ok(Arc::clone(a)),
+            other => Err(held_type_err("arena", other)),
+        }
+    }
+
+    /// The held sanitized paths of the last emission.
+    pub fn sanitized(&self) -> Result<Arc<SanitizedPaths>, EngineError> {
+        match &self.prev[stage_idx::S1_SANITIZE] {
+            Artifact::Sanitized(s) => Ok(Arc::clone(s)),
+            other => Err(held_type_err("sanitized", other)),
+        }
+    }
+
+    /// The three held cone flavors (recursive, BGP-observed,
+    /// provider/peer-observed) of the last emission.
+    pub fn cones(
+        &self,
+    ) -> Result<(Arc<CustomerCones>, Arc<CustomerCones>, Arc<CustomerCones>), EngineError> {
+        let cone = |idx: usize| match &self.prev[idx] {
+            Artifact::Cone(c) => Ok(Arc::clone(c)),
+            other => Err(held_type_err("cone", other)),
+        };
+        Ok((
+            cone(stage_idx::CONE_RECURSIVE)?,
+            cone(stage_idx::CONE_BGP_OBSERVED)?,
+            cone(stage_idx::CONE_PROVIDER_PEER)?,
+        ))
+    }
+
+    /// Remove one sample's contributions from the evidence.
+    fn retire(&mut self, vp: Asn, fate: &SampleFate) -> Result<(), EngineError> {
+        if let Some(path) = &fate.clean {
+            let hops: Vec<u32> = path.0.iter().map(|a| a.0).collect();
+            match self.slots.remove_one(&hops) {
+                Some(ev) => self.note(ev),
+                None => {
+                    return Err(EngineError::stage_failed(
+                        "delta_session",
+                        format!("retiring a clean path absent from the slot table: {path:?}"),
+                    ))
+                }
+            }
+            self.clean -= 1;
+            if let Some(key) = vp_key(vp, path) {
+                decrement(&mut self.via, key);
+                decrement(&mut self.totals, vp);
+            }
+        }
+        sub_report(&mut self.counters, &fate.delta);
+        Ok(())
+    }
+
+    /// Add one sample's contributions to the evidence.
+    fn admit(&mut self, vp: Asn, fate: &SampleFate) {
+        if let Some(path) = &fate.clean {
+            let hops: Vec<u32> = path.0.iter().map(|a| a.0).collect();
+            let ev = self.slots.add_one(&hops);
+            self.note(ev);
+            self.clean += 1;
+            if let Some(key) = vp_key(vp, path) {
+                *self.via.entry(key).or_default() += 1;
+                *self.totals.entry(vp).or_default() += 1;
+            }
+        }
+        add_report(&mut self.counters, &fate.delta);
+    }
+
+    fn note(&mut self, ev: PathEvent) {
+        self.tok_mult = true;
+        if matches!(ev, PathEvent::AddedDistinct | PathEvent::RemovedDistinct) {
+            self.tok_structure = true;
+        }
+    }
+}
+
+/// S6 evidence key of a clean sample: `(vp, first hop)` — but only when
+/// the path actually starts at the vantage point, mirroring the stage
+/// body's per-sample filter.
+fn vp_key(vp: Asn, clean: &AsPath) -> Option<(Asn, Asn)> {
+    let hops = &clean.0;
+    if hops.len() < 2 || hops[0] != vp {
+        return None;
+    }
+    Some((vp, hops[1]))
+}
+
+/// Decrement a counter map entry, dropping it at zero so the key set
+/// stays exactly "pairs with live evidence" (the S6 candidate set).
+fn decrement<K: std::hash::Hash + Eq>(map: &mut FxHashMap<K, u32>, key: K) {
+    if let Some(v) = map.get_mut(&key) {
+        *v = v.saturating_sub(1);
+        if *v == 0 {
+            map.remove(&key);
+        }
+    }
+}
+
+fn add_report(dst: &mut SanitizeReport, d: &SanitizeReport) {
+    dst.discarded_loops += d.discarded_loops;
+    dst.discarded_reserved += d.discarded_reserved;
+    dst.discarded_short += d.discarded_short;
+    dst.compressed_prepending += d.compressed_prepending;
+    dst.stripped_ixp += d.stripped_ixp;
+}
+
+fn sub_report(dst: &mut SanitizeReport, d: &SanitizeReport) {
+    dst.discarded_loops -= d.discarded_loops;
+    dst.discarded_reserved -= d.discarded_reserved;
+    dst.discarded_short -= d.discarded_short;
+    dst.compressed_prepending -= d.compressed_prepending;
+    dst.stripped_ixp -= d.stripped_ixp;
+}
+
+fn held_type_err(expected: &'static str, got: &Artifact) -> EngineError {
+    EngineError::ArtifactType {
+        stage: "delta_session".to_string(),
+        expected: expected.to_string(),
+        got: got.kind().to_string(),
+    }
+}
+
+/// The session's view handed to `Snapshot::delta_run` — disjoint field
+/// borrows so the snapshot can hold the sample set while the providers
+/// mutate the slot table.
+struct SessionProvider<'s> {
+    master: &'s PathSet,
+    fates: &'s [SampleFate],
+    clean: usize,
+    counters: &'s SanitizeReport,
+    slots: &'s mut MutablePathArena,
+    via: &'s FxHashMap<(Asn, Asn), u32>,
+    totals: &'s FxHashMap<Asn, u32>,
+    cfg: &'s InferenceConfig,
+}
+
+impl DeltaProvider for SessionProvider<'_> {
+    fn sanitized(&mut self) -> Arc<SanitizedPaths> {
+        let mut samples = Vec::with_capacity(self.clean);
+        for (s, f) in self.master.iter().zip(self.fates) {
+            if let Some(path) = &f.clean {
+                samples.push(PathSample {
+                    vp: s.vp,
+                    prefix: s.prefix,
+                    path: path.clone(),
+                });
+            }
+        }
+        let report = SanitizeReport {
+            input_paths: self.master.len(),
+            output_paths: samples.len(),
+            ..*self.counters
+        };
+        Arc::new(SanitizedPaths { samples, report })
+    }
+
+    fn arena(&mut self) -> Arc<PathArena> {
+        self.slots.canonicalize()
+    }
+
+    fn vp_providers(
+        &mut self,
+        step: &Arc<StepState>,
+        degrees: &Arc<DegreeTable>,
+    ) -> Arc<StepState> {
+        // Candidate order is pinned by the sort; the hash-map iteration
+        // behind it is order-free.
+        let mut candidates: Vec<(Asn, Asn)> = self.via.keys().copied().collect();
+        candidates.sort();
+        let mut state = StepState::clone(step);
+        steps::classify_vp_providers(
+            &candidates,
+            |vp, w| self.via.get(&(vp, w)).copied().unwrap_or(0) as usize,
+            |vp| self.totals.get(&vp).copied().unwrap_or(0) as usize,
+            degrees,
+            self.cfg,
+            &mut state.rels,
+            &mut state.report,
+        );
+        Arc::new(state)
+    }
+}

@@ -40,6 +40,7 @@ pub mod clique;
 pub mod cone;
 pub mod csr;
 pub mod degree;
+pub mod delta;
 pub mod diff;
 pub mod engine;
 pub mod io;
@@ -59,6 +60,7 @@ pub use clique::{infer_clique, CliqueConfig};
 pub use cone::{ConeSets, ConeSize, CustomerCones};
 pub use csr::{Adjacency, Csr};
 pub use degree::DegreeTable;
+pub use delta::{DeltaOutcome, DeltaSession};
 pub use diff::{diff_relationships, ChangedLink, RelDiff};
 pub use engine::{stage_disk_key, Artifact, Snapshot, StageReport, StageStats};
 pub use io::{read_as_rel, write_as_rel, AsRelError};

@@ -35,6 +35,8 @@
 use crate::par;
 use crate::sanitize::SanitizedPaths;
 use asrank_types::prelude::*;
+use asrank_types::FxHashMap;
+use std::sync::Arc;
 
 /// Deduplicated, interned, CSR-flattened view of a sanitized path set.
 ///
@@ -214,6 +216,22 @@ impl PathArena {
         arena
     }
 
+    /// Clone the arena's immutable structure with new multiplicities —
+    /// the [`MutablePathArena`] fast path for batches that only shifted
+    /// evidence weight between already-known paths. `multiplicity` must
+    /// be in arena order with one entry per path.
+    pub(crate) fn with_multiplicity(&self, multiplicity: Vec<u32>) -> PathArena {
+        debug_assert_eq!(multiplicity.len(), self.multiplicity.len());
+        PathArena {
+            interner: self.interner.clone(),
+            offsets: self.offsets.clone(),
+            ids: self.ids.clone(),
+            multiplicity,
+            inv_offsets: self.inv_offsets.clone(),
+            inv_entries: self.inv_entries.clone(),
+        }
+    }
+
     /// Number of distinct paths.
     pub fn len(&self) -> usize {
         self.multiplicity.len()
@@ -379,6 +397,277 @@ impl PathArena {
     }
 }
 
+impl PartialEq for PathArena {
+    /// Structural equality over the defining fields; the inverted index
+    /// is a deterministic function of `offsets`/`ids` and is not
+    /// re-compared.
+    fn eq(&self, other: &Self) -> bool {
+        self.offsets == other.offsets
+            && self.ids == other.ids
+            && self.multiplicity == other.multiplicity
+            && self.interner.len() == other.interner.len()
+            && self.interner.iter().eq(other.interner.iter())
+    }
+}
+
+impl Eq for PathArena {}
+
+/// What one add/remove did to the distinct-path set — the event stream
+/// the incremental engine's degree/clique evidence feeds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathEvent {
+    /// The path entered the distinct set (first sample, or a tombstone
+    /// revived).
+    AddedDistinct,
+    /// The path left the distinct set (last sample gone).
+    RemovedDistinct,
+    /// Only the multiplicity moved; the distinct set is unchanged.
+    MultChanged,
+}
+
+/// The in-place counterpart of [`PathArena`]: a canonical slot table
+/// that absorbs per-sample path add/remove deltas and periodically
+/// re-emits a bit-identical [`PathArena`].
+///
+/// Layout invariants (pinned by the build oracle proptest):
+///
+/// * **Slots are stable between compactions.** Base slots `0..base_n`
+///   hold the distinct paths of some fully-built arena in arena
+///   (ASN-lexicographic) order; appended paths occupy tail slots
+///   `base_n + i` in arrival order. `index` maps hop content to its
+///   slot, covering base and tail.
+/// * **Multiplicity 0 is a tombstone.** Removing the last sample of a
+///   path keeps its slot (and index entry) so a re-announce revives it
+///   in place; tombstoned paths are excluded from canonicalization.
+/// * **Canonicalize merges, never re-sorts the base.** Live base slots
+///   are already in arena order; live tail paths are sorted and merged
+///   in, then interned/flattened through the same `from_raw` path the
+///   cold build uses — so the emitted arena is byte-identical to
+///   rebuilding from scratch over the surviving sample multiset.
+/// * **Compaction is threshold-driven.** When tombstones + tail exceed
+///   ~1/8 of the live set, the merged result is adopted as the new base
+///   and the index rebuilt; otherwise the (cheap) merge is recomputed
+///   per canonicalize and the index keeps amortizing.
+#[derive(Debug, Clone, Default)]
+pub struct MutablePathArena {
+    /// Flat ASN (not dense-id) hops of the base slots.
+    base_hops: Vec<u32>,
+    /// Base slot `b` spans `base_hops[off[b]..off[b+1]]`.
+    base_offsets: Vec<u32>,
+    /// Per-slot sample count, base slots then tail slots; 0 = tombstone.
+    slot_mult: Vec<u32>,
+    /// ASN hops of appended paths; tail slot `base_n + i`.
+    tail: Vec<Box<[u32]>>,
+    /// Hop content → slot, covering base and tail.
+    index: FxHashMap<Box<[u32]>, u32>,
+    /// Slot → position in the last canonicalized arena (`u32::MAX` when
+    /// the slot was tombstoned or not yet emitted).
+    canon_pos: Vec<u32>,
+    /// Distinct set changed since the last canonicalize.
+    structure_dirty: bool,
+    /// Tombstoned slots (mult 0).
+    dead: usize,
+    /// The last canonicalized arena, reused wholesale when nothing (or
+    /// only multiplicity) changed.
+    prev: Option<Arc<PathArena>>,
+}
+
+impl MutablePathArena {
+    /// Seed the mutable view from a fully-built arena (the cold run's).
+    pub fn from_arena(arena: &Arc<PathArena>) -> Self {
+        let base_hops: Vec<u32> = arena
+            .ids
+            .iter()
+            .map(|&id| arena.interner.resolve(id).0)
+            .collect();
+        let base_offsets = arena.offsets.clone();
+        let slot_mult = arena.multiplicity.clone();
+        let mut index = FxHashMap::default();
+        for p in 0..arena.len() {
+            let span = &base_hops[base_offsets[p] as usize..base_offsets[p + 1] as usize];
+            index.insert(span.to_vec().into_boxed_slice(), dense_id(p));
+        }
+        MutablePathArena {
+            base_hops,
+            base_offsets,
+            slot_mult,
+            tail: Vec::new(),
+            index,
+            canon_pos: (0..dense_id(arena.len())).collect(),
+            structure_dirty: false,
+            dead: 0,
+            prev: Some(Arc::clone(arena)),
+        }
+    }
+
+    /// Distinct live paths.
+    pub fn live_len(&self) -> usize {
+        self.slot_mult.len() - self.dead
+    }
+
+    /// Record one more sample observing `hops` (ASN values, ≥ 2 hops).
+    pub fn add_one(&mut self, hops: &[u32]) -> PathEvent {
+        if let Some(&slot) = self.index.get(hops) {
+            let m = &mut self.slot_mult[slot as usize];
+            *m += 1;
+            if *m == 1 {
+                // Tombstone revived: the distinct set regains the path.
+                self.dead -= 1;
+                self.structure_dirty = true;
+                PathEvent::AddedDistinct
+            } else {
+                PathEvent::MultChanged
+            }
+        } else {
+            let slot = dense_id(self.slot_mult.len());
+            self.index.insert(hops.to_vec().into_boxed_slice(), slot);
+            self.tail.push(hops.to_vec().into_boxed_slice());
+            self.slot_mult.push(1);
+            self.canon_pos.push(u32::MAX);
+            self.structure_dirty = true;
+            PathEvent::AddedDistinct
+        }
+    }
+
+    /// Record the removal of one sample observing `hops`. Returns `None`
+    /// when the path was not live — an upstream accounting bug the
+    /// caller must surface as a typed error.
+    pub fn remove_one(&mut self, hops: &[u32]) -> Option<PathEvent> {
+        let &slot = self.index.get(hops)?;
+        let m = &mut self.slot_mult[slot as usize];
+        if *m == 0 {
+            return None;
+        }
+        *m -= 1;
+        Some(if *m == 0 {
+            self.dead += 1;
+            self.structure_dirty = true;
+            PathEvent::RemovedDistinct
+        } else {
+            PathEvent::MultChanged
+        })
+    }
+
+    /// Emit the canonical arena for the current state — bit-identical to
+    /// [`PathArena::build_with`] over the equivalent sample multiset.
+    ///
+    /// Returns the previous `Arc` untouched when nothing changed, a
+    /// structure-sharing multiplicity patch when only evidence weight
+    /// moved, and a full merge + re-intern otherwise (compacting the
+    /// slot table when the tombstone + tail overhead crosses the
+    /// threshold).
+    pub fn canonicalize(&mut self) -> Arc<PathArena> {
+        let base_n = self.base_offsets.len() - 1;
+        if !self.structure_dirty {
+            if let Some(prev) = &self.prev {
+                // Same distinct set as the last emission: project slot
+                // multiplicities into canonical order and patch.
+                let mut mult = vec![0u32; prev.len()];
+                for (slot, &m) in self.slot_mult.iter().enumerate() {
+                    if m > 0 {
+                        mult[self.canon_pos[slot] as usize] = m;
+                    }
+                }
+                if mult == prev.multiplicity {
+                    return Arc::clone(prev);
+                }
+                let patched = Arc::new(prev.with_multiplicity(mult));
+                self.prev = Some(Arc::clone(&patched));
+                return patched;
+            }
+        }
+
+        // Slow path: merge live base slots (already in arena order) with
+        // the sorted live tail, then intern + flatten through from_raw —
+        // the same constructors the cold build uses.
+        let mut tail_live: Vec<u32> = (0..self.tail.len())
+            .filter(|&i| self.slot_mult[base_n + i] > 0)
+            .map(|i| dense_id(base_n + i))
+            .collect();
+        tail_live.sort_unstable_by(|&a, &b| self.slot_hops(a).cmp(self.slot_hops(b)));
+
+        let live = self.live_len();
+        let mut merged_slots: Vec<u32> = Vec::with_capacity(live);
+        let mut ti = 0usize;
+        for b in 0..base_n {
+            if self.slot_mult[b] == 0 {
+                continue;
+            }
+            let bh = self.slot_hops(dense_id(b));
+            while ti < tail_live.len() && self.slot_hops(tail_live[ti]) < bh {
+                merged_slots.push(tail_live[ti]);
+                ti += 1;
+            }
+            merged_slots.push(dense_id(b));
+        }
+        merged_slots.extend_from_slice(&tail_live[ti..]);
+        debug_assert_eq!(merged_slots.len(), live);
+
+        for pos in self.canon_pos.iter_mut() {
+            *pos = u32::MAX;
+        }
+        let mut offsets: Vec<u32> = Vec::with_capacity(live + 1);
+        offsets.push(0);
+        let mut total = 0usize;
+        let mut multiplicity: Vec<u32> = Vec::with_capacity(live);
+        for (pos, &slot) in merged_slots.iter().enumerate() {
+            self.canon_pos[slot as usize] = dense_id(pos);
+            total += self.slot_hops(slot).len();
+            offsets.push(dense_id(total));
+            multiplicity.push(self.slot_mult[slot as usize]);
+        }
+        let interner = AsnInterner::from_ases(
+            merged_slots
+                .iter()
+                .flat_map(|&slot| self.slot_hops(slot).iter().map(|&v| Asn(v))),
+        );
+        let mut ids: Vec<u32> = Vec::with_capacity(total);
+        for &slot in &merged_slots {
+            for &v in self.slot_hops(slot) {
+                // lint: allow(panics, interner seeded from these same live slots covers every hop)
+                ids.push(interner.get(Asn(v)).expect("interned"));
+            }
+        }
+        let arena = Arc::new(PathArena::from_raw(interner, offsets, ids, multiplicity));
+        debug_assert!(arena.validate().is_empty());
+
+        // Threshold compaction: adopt the merged order as the new base
+        // once tombstones + tail cost more than ~1/8 of the live set.
+        if self.dead + self.tail.len() > live / 8 + 64 {
+            let mut base_hops: Vec<u32> = Vec::with_capacity(arena.total_hops());
+            for &slot in &merged_slots {
+                base_hops.extend_from_slice(self.slot_hops(slot));
+            }
+            self.base_hops = base_hops;
+            self.base_offsets = arena.offsets.clone();
+            self.slot_mult = arena.multiplicity.clone();
+            self.tail.clear();
+            self.dead = 0;
+            self.canon_pos = (0..dense_id(live)).collect();
+            self.index.clear();
+            for p in 0..live {
+                let span =
+                    &self.base_hops[self.base_offsets[p] as usize..self.base_offsets[p + 1] as usize];
+                self.index.insert(span.to_vec().into_boxed_slice(), dense_id(p));
+            }
+        }
+        self.structure_dirty = false;
+        self.prev = Some(Arc::clone(&arena));
+        arena
+    }
+
+    /// ASN hops of `slot` (base or tail).
+    fn slot_hops(&self, slot: u32) -> &[u32] {
+        let base_n = self.base_offsets.len() - 1;
+        let s = slot as usize;
+        if s < base_n {
+            &self.base_hops[self.base_offsets[s] as usize..self.base_offsets[s + 1] as usize]
+        } else {
+            &self.tail[s - base_n]
+        }
+    }
+}
+
 /// Counting-sort inversion of the flat hop array: for every dense id,
 /// the packed `(path << 32) | position` occurrences, ascending.
 fn invert(offsets: &[u32], ids: &[u32], n: usize) -> (Vec<u32>, Vec<u64>) {
@@ -533,5 +822,196 @@ mod tests {
         assert_eq!(arena.offsets(), &[0]);
         assert!(arena.validate().is_empty());
         assert!(arena.distinct_aspaths().is_empty());
+    }
+
+    /// The rebuilt-from-scratch oracle: an arena built over one synthetic
+    /// sample per `(path, repeat)` entry of the multiset. `build_with`
+    /// only reads `sample.path`, so dummy vp/prefix values are fine.
+    fn oracle_arena(multiset: &[Vec<u32>]) -> PathArena {
+        let samples: Vec<PathSample> = multiset
+            .iter()
+            .enumerate()
+            .map(|(i, hops)| PathSample {
+                vp: Asn(hops[0]),
+                prefix: Ipv4Prefix::new((i as u32) << 8, 24).unwrap(),
+                path: AsPath::from_u32s(hops.iter().copied()),
+            })
+            .collect();
+        let clean = SanitizedPaths {
+            samples,
+            report: Default::default(),
+        };
+        PathArena::build_with(&clean, Parallelism::sequential())
+    }
+
+    #[test]
+    fn mutable_arena_no_change_returns_same_arc() {
+        let base = Arc::new(oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5]]));
+        let mut m = MutablePathArena::from_arena(&base);
+        let out = m.canonicalize();
+        assert!(Arc::ptr_eq(&base, &out), "unchanged state must reuse the Arc");
+    }
+
+    #[test]
+    fn mutable_arena_mult_only_patch_matches_oracle() {
+        let base = Arc::new(oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5]]));
+        let mut m = MutablePathArena::from_arena(&base);
+        assert_eq!(m.add_one(&[9, 1, 5]), PathEvent::MultChanged);
+        let out = m.canonicalize();
+        assert!(!Arc::ptr_eq(&base, &out));
+        assert_eq!(
+            *out,
+            oracle_arena(&[vec![9, 1, 5], vec![9, 1, 5], vec![8, 1, 5]])
+        );
+        // Structure (offsets/ids) shared with the previous emission.
+        assert_eq!(out.offsets(), base.offsets());
+        assert_eq!(out.ids(), base.ids());
+    }
+
+    #[test]
+    fn mutable_arena_add_remove_revive_matches_oracle() {
+        let base = Arc::new(oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5]]));
+        let mut m = MutablePathArena::from_arena(&base);
+
+        // New distinct path with an unseen AS → full re-intern.
+        assert_eq!(m.add_one(&[7, 3, 5]), PathEvent::AddedDistinct);
+        let out = m.canonicalize();
+        assert_eq!(
+            *out,
+            oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5], vec![7, 3, 5]])
+        );
+        assert!(out.validate().is_empty());
+
+        // Tombstone the tail path again; the distinct set shrinks back.
+        assert_eq!(m.remove_one(&[7, 3, 5]), Some(PathEvent::RemovedDistinct));
+        assert_eq!(*m.canonicalize(), *base);
+
+        // Revive it in place.
+        assert_eq!(m.add_one(&[7, 3, 5]), PathEvent::AddedDistinct);
+        assert_eq!(
+            *m.canonicalize(),
+            oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5], vec![7, 3, 5]])
+        );
+
+        // Removing a path that is not live is an upstream bug, not a panic.
+        assert_eq!(m.remove_one(&[1, 2, 3, 4]), None);
+        assert_eq!(m.remove_one(&[7, 3, 5]), Some(PathEvent::RemovedDistinct));
+        assert_eq!(m.remove_one(&[7, 3, 5]), None);
+    }
+
+    #[test]
+    fn mutable_arena_compaction_stays_canonical() {
+        let base = Arc::new(oracle_arena(&[vec![9, 1, 5], vec![8, 1, 5]]));
+        let mut m = MutablePathArena::from_arena(&base);
+        // Push far past the tail threshold (live/8 + 64) to force the
+        // compaction branch, canonicalizing along the way.
+        let mut multiset = vec![vec![9, 1, 5], vec![8, 1, 5]];
+        for i in 0..90u32 {
+            let hops = vec![1000 + i, 500 + (i % 13), 1 + (i % 7)];
+            assert_eq!(m.add_one(&hops), PathEvent::AddedDistinct);
+            multiset.push(hops);
+            if i % 17 == 0 {
+                assert_eq!(*m.canonicalize(), oracle_arena(&multiset));
+            }
+        }
+        let out = m.canonicalize();
+        assert_eq!(*out, oracle_arena(&multiset));
+        assert!(out.validate().is_empty());
+        // Post-compaction the slot table keeps behaving canonically.
+        assert_eq!(m.remove_one(&[9, 1, 5]), Some(PathEvent::RemovedDistinct));
+        multiset.retain(|h| h != &[9, 1, 5]);
+        assert_eq!(*m.canonicalize(), oracle_arena(&multiset));
+    }
+
+    mod mutable_oracle {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One scripted mutation: add or remove the `i % pool`-th pool
+        /// path, with a canonicalize sprinkled in every few ops.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Add(usize),
+            Remove(usize),
+            Canon,
+        }
+
+        fn op_strategy(pool: usize) -> impl Strategy<Value = Op> {
+            (0u8..7, 0..pool).prop_map(|(kind, i)| match kind {
+                0..=2 => Op::Add(i),
+                3..=5 => Op::Remove(i),
+                _ => Op::Canon,
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            /// Tentpole pin: any interleaving of adds, removes, and
+            /// canonicalizations over a fixed path pool emits arenas
+            /// bit-identical to rebuilding from scratch over the
+            /// surviving sample multiset.
+            #[test]
+            fn mutation_matches_rebuild_oracle(
+                pool in proptest::collection::vec(
+                    proptest::collection::vec(1u32..40, 2..5),
+                    1..12,
+                ),
+                init in proptest::collection::vec(any::<usize>(), 0..10),
+                ops in proptest::collection::vec(op_strategy(64), 0..40),
+            ) {
+                let mut multiset: Vec<Vec<u32>> = init
+                    .iter()
+                    .map(|&ix| pool[ix % pool.len()].clone())
+                    .collect();
+                let base = Arc::new(oracle_arena(&multiset));
+                let mut m = MutablePathArena::from_arena(&base);
+
+                for op in ops {
+                    match op {
+                        Op::Add(i) => {
+                            let hops = &pool[i % pool.len()];
+                            let before_live = m.live_len();
+                            let ev = m.add_one(hops);
+                            multiset.push(hops.clone());
+                            let was_new = !multiset[..multiset.len() - 1].contains(hops);
+                            prop_assert_eq!(
+                                ev,
+                                if was_new { PathEvent::AddedDistinct } else { PathEvent::MultChanged }
+                            );
+                            prop_assert_eq!(m.live_len(), before_live + usize::from(was_new));
+                        }
+                        Op::Remove(i) => {
+                            let hops = &pool[i % pool.len()];
+                            let ev = m.remove_one(hops);
+                            if let Some(pos) = multiset.iter().position(|h| h == hops) {
+                                multiset.remove(pos);
+                                let still_there = multiset.contains(hops);
+                                prop_assert_eq!(
+                                    ev,
+                                    Some(if still_there {
+                                        PathEvent::MultChanged
+                                    } else {
+                                        PathEvent::RemovedDistinct
+                                    })
+                                );
+                            } else {
+                                prop_assert_eq!(ev, None);
+                            }
+                        }
+                        Op::Canon => {
+                            let out = m.canonicalize();
+                            prop_assert!(out.validate().is_empty());
+                            prop_assert_eq!(&*out, &oracle_arena(&multiset));
+                        }
+                    }
+                }
+                let out = m.canonicalize();
+                prop_assert!(out.validate().is_empty());
+                prop_assert_eq!(&*out, &oracle_arena(&multiset));
+                // Canonicalizing again without mutations reuses the Arc.
+                let again = m.canonicalize();
+                prop_assert!(Arc::ptr_eq(&out, &again));
+            }
+        }
     }
 }

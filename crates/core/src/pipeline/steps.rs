@@ -322,18 +322,46 @@ pub fn infer_vp_providers(
             totals.entry(k).or_default().extend(set);
         }
     }
-    let threshold = cfg.vp_provider_threshold;
     let mut candidates: Vec<(Asn, Asn)> = via.keys().copied().collect();
     candidates.sort();
-    for (vp, w) in candidates {
+    classify_vp_providers(
+        &candidates,
+        |vp, w| via[&(vp, w)].len(),
+        |vp| totals[&vp].len(),
+        degrees,
+        cfg,
+        rels,
+        report,
+    );
+}
+
+/// The classification half of S6, shared with the incremental engine:
+/// given sorted `(vp, first hop)` candidates and closures yielding the
+/// distinct-prefix evidence counts (however gathered — prefix sets here,
+/// maintained counters on the delta path, identical because `(vp,
+/// prefix)` samples are unique there), apply the share/degree rule in
+/// candidate order. Order matters: an inserted c2p can suppress a later
+/// candidate on the same link, so both callers must walk the same sorted
+/// sequence.
+pub(crate) fn classify_vp_providers(
+    candidates: &[(Asn, Asn)],
+    via_count: impl Fn(Asn, Asn) -> usize,
+    total_count: impl Fn(Asn) -> usize,
+    degrees: &DegreeTable,
+    cfg: &InferenceConfig,
+    rels: &mut RelationshipMap,
+    report: &mut InferenceReport,
+) {
+    let threshold = cfg.vp_provider_threshold;
+    for &(vp, w) in candidates {
         if rels.get(vp, w).is_some() {
             continue;
         }
-        let total = totals[&vp].len();
+        let total = total_count(vp);
         if total == 0 {
             continue;
         }
-        let share = via[&(vp, w)].len() as f64 / total as f64;
+        let share = via_count(vp, w) as f64 / total as f64;
         if share >= threshold && degrees.transit_degree(w) >= degrees.transit_degree(vp) {
             rels.insert_c2p(vp, w);
             report.c2p_from_vps += 1;

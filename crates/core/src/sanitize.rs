@@ -49,7 +49,7 @@ pub struct SanitizeReport {
 }
 
 /// Sanitized dataset: cleaned samples plus the report.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SanitizedPaths {
     /// Cleaned observations (loop-free, prepending-free, routable ASNs,
     /// IXP hops removed; ≥ 2 hops each).
@@ -131,6 +131,29 @@ fn sanitize_path(
         return None;
     }
     Some(cleaned)
+}
+
+/// The sanitization outcome of a single sample: the cleaned path (or
+/// `None` when discarded) plus the report-counter deltas the sample
+/// contributed. The incremental engine caches one fate per sample so a
+/// delta run re-sanitizes only the samples a batch touched; summing the
+/// deltas reproduces [`sanitize`]'s report exactly (minus the
+/// `input_paths`/`output_paths` totals, which are structural).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SampleFate {
+    /// Cleaned path, `None` when the sample was discarded.
+    pub clean: Option<AsPath>,
+    /// This sample's contribution to the discard/rewrite counters.
+    pub delta: SanitizeReport,
+}
+
+/// Sanitize one sample in isolation — the same decision procedure
+/// [`sanitize_with`] applies per chunk, exposed per sample for the
+/// incremental path.
+pub(crate) fn sample_fate(path: &AsPath, cfg: &SanitizeConfig) -> SampleFate {
+    let mut delta = SanitizeReport::default();
+    let clean = sanitize_path(path, cfg, &mut delta);
+    SampleFate { clean, delta }
 }
 
 /// Sanitize a whole path set (S1 of the pipeline).

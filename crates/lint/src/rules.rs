@@ -132,11 +132,13 @@ const DETERMINISM_CRITICAL: &[&str] = &[
     "crates/core/src/pipeline/",
     "crates/core/src/pipeline.rs",
     "crates/core/src/cone.rs",
+    "crates/core/src/delta.rs",
     "crates/core/src/par.rs",
     "crates/core/src/patharena.rs",
     "crates/core/src/persist/",
     "crates/serve/src/",
     "crates/types/src/codec.rs",
+    "crates/mrt/src/batch.rs",
     "crates/mrt/src/scan.rs",
     "crates/bgpsim/src/propagate.rs",
 ];

@@ -97,7 +97,7 @@ fn decode_one(frame: &[u8]) -> Result<(u32, MrtRecord), MrtError> {
 /// the ordered merge means the output cannot differ. On error, the
 /// earliest failure in stream order wins, matching the sequential
 /// reader.
-fn for_each_decoded<F>(
+pub(crate) fn for_each_decoded<F>(
     data: &[u8],
     frames: &[Range<usize>],
     par: Parallelism,

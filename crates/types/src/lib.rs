@@ -51,7 +51,7 @@ pub use prefix::Ipv4Prefix;
 pub use prefix6::Ipv6Prefix;
 pub use relationship::{AsLink, LinkRel, Orientation, RelationshipKind, RelationshipMap};
 pub use trie::PrefixTrie;
-pub use update::UpdateMessage;
+pub use update::{PathDelta, UpdateBatch, UpdateMessage};
 
 /// Convenience prelude re-exporting the types used by virtually every
 /// downstream module.

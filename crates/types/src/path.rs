@@ -241,6 +241,18 @@ impl PathSet {
     pub fn into_samples(self) -> Vec<PathSample> {
         self.samples
     }
+
+    /// Mutable access to the samples in place — incremental consumers
+    /// (delta sessions) patch replaced paths at their positions instead
+    /// of rebuilding the vec per update batch.
+    pub fn samples_mut(&mut self) -> &mut [PathSample] {
+        &mut self.samples
+    }
+
+    /// Rebuild a set from raw samples (inverse of [`Self::into_samples`]).
+    pub fn from_samples(samples: Vec<PathSample>) -> Self {
+        PathSet { samples }
+    }
 }
 
 impl FromIterator<PathSample> for PathSet {
