@@ -12,9 +12,17 @@
 //! infer is measured in a child process (the bench re-execs itself with
 //! `ASRANK_SCALE_RSS_TIER` set, the same pattern as `benches/serve.rs`)
 //! and emitted as a `scale_rss` JSON line for the snapshot document.
+//!
+//! The tenx tier (~400k ASes, `Scale::TenX`) rides the same machinery
+//! but only when `ASRANK_SCALE_TENX=1` (`make bench-tenx`): its
+//! generate + simulate setup alone runs for minutes and needs several
+//! GiB, so it must not tax every `make bench-scale` invocation. When
+//! enabled it records `infer/tenx`, `arena_build/tenx`, and the
+//! child-process `scale_rss` line the `scale_rss_headroom/tenx` gate
+//! reads.
 
 use as_topology_gen::TopologyConfig;
-use asrank_bench::harness::{scenario_inputs, Scenario};
+use asrank_bench::harness::{scenario_inputs, Scale, Scenario};
 use asrank_bench::rss::peak_rss_kb;
 use asrank_core::cone::{
     bgp_raw_sweep_pairs, merge_sweep_pairs_blocked, merge_sweep_pairs_unblocked,
@@ -48,6 +56,7 @@ fn tier_inputs(factor: f64, vps: usize, sample: usize) -> (PathSet, InferenceCon
         full_feed: 116.0 / 315.0,
         anomalies: AnomalyConfig::none(),
         destination_sample: Some(sample),
+        rib_cap_per_vp: None,
         seed: 42,
     };
     scenario_inputs(&scenario)
@@ -70,11 +79,11 @@ fn rss_child_mode_if_requested() {
     std::process::exit(0);
 }
 
-/// Fork the bench binary for the 42k cold-infer RSS and read `VmHWM`.
-fn measure_rss(rib: &PathBuf) -> Option<u64> {
+/// Fork the bench binary for one tier's cold-infer RSS and read `VmHWM`.
+fn measure_rss(tier: &str, rib: &PathBuf) -> Option<u64> {
     let exe = std::env::current_exe().ok()?;
     let out = std::process::Command::new(&exe)
-        .env("ASRANK_SCALE_RSS_TIER", "42k")
+        .env("ASRANK_SCALE_RSS_TIER", tier)
         .env("ASRANK_SCALE_RSS_RIB", rib)
         .env_remove("CRITERION_JSON")
         .output()
@@ -96,15 +105,40 @@ fn measure_rss(rib: &PathBuf) -> Option<u64> {
 /// `CRITERION_JSON` is set — as an extra snapshot line (`rss_kb`
 /// instead of `median_ns`; the report binary's derived pass reads it
 /// by field name).
-fn report_rss(rss_kb: u64) {
-    println!("scale_rss: 42k cold infer peaked at {rss_kb} kB");
+fn report_rss(tier: &str, rss_kb: u64) {
+    println!("scale_rss: {tier} cold infer peaked at {rss_kb} kB");
     let Ok(path) = std::env::var("CRITERION_JSON") else {
         return;
     };
     let Ok(mut fh) = std::fs::OpenOptions::new().create(true).append(true).open(&path) else {
         return;
     };
-    let _ = writeln!(fh, r#"{{"group":"scale_rss","bench":"infer/42k","rss_kb":{rss_kb}}}"#);
+    let _ = writeln!(
+        fh,
+        r#"{{"group":"scale_rss","bench":"infer/{tier}","rss_kb":{rss_kb}}}"#
+    );
+}
+
+/// Write `paths` to an MRT rib in a fresh temp dir, measure a cold
+/// infer over it in a child process, and record the peak. The rib
+/// round-trip keeps the child's allocations independent of the parent's
+/// live topology fixtures.
+fn measure_and_report_rss(tier: &str, paths: &PathSet) {
+    let dir = std::env::temp_dir().join(format!(
+        "asrank_bench_scale_{tier}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scale bench temp dir");
+    let rib = dir.join("rib.mrt");
+    let mut bytes = Vec::new();
+    write_rib_dump(paths, &mut bytes, 1_600_000_000).expect("write rib");
+    std::fs::write(&rib, &bytes).expect("store rib");
+    drop(bytes);
+    if let Some(rss_kb) = measure_rss(tier, &rib) {
+        report_rss(tier, rss_kb);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_scale(c: &mut Criterion) {
@@ -186,17 +220,32 @@ fn bench_scale(c: &mut Criterion) {
     group.finish();
 
     // Peak RSS of a full 42k cold infer, in its own process.
-    let dir = std::env::temp_dir().join(format!("asrank_bench_scale_{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).expect("scale bench temp dir");
-    let rib = dir.join("rib.mrt");
-    let mut bytes = Vec::new();
-    write_rib_dump(&paths, &mut bytes, 1_600_000_000).expect("write 42k rib");
-    std::fs::write(&rib, &bytes).expect("store 42k rib");
-    if let Some(rss_kb) = measure_rss(&rib) {
-        report_rss(rss_kb);
+    measure_and_report_rss("42k", &paths);
+    drop((paths, inference, clean, arena, raw));
+
+    // The tenx tier, opt-in: cold infer + arena build + child RSS.
+    if std::env::var("ASRANK_SCALE_TENX").as_deref() == Ok("1") {
+        let scenario = Scenario::at_scale(Scale::TenX, 42);
+        let (paths, icfg) = scenario_inputs(&scenario);
+        println!("scale: tenx tier generated ({} samples)", paths.len());
+        let mut group = c.benchmark_group("scale");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(paths.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("infer", "tenx"),
+            &(&paths, &icfg),
+            |b, (paths, icfg)| b.iter(|| black_box(infer(paths, icfg))),
+        );
+        let clean = sanitize(&paths, &icfg.sanitize);
+        group.bench_with_input(
+            BenchmarkId::new("arena_build", "tenx"),
+            &clean,
+            |b, clean| b.iter(|| black_box(clean.arena())),
+        );
+        group.finish();
+        drop(clean);
+        measure_and_report_rss("tenx", &paths);
     }
-    let _ = std::fs::remove_dir_all(&dir);
 }
 
 criterion_group!(benches, bench_scale);

@@ -191,7 +191,7 @@ fn bench_json(input: &str, output: &str) -> i32 {
     // the rate collapsing between tiers.
     for (family, group, tiers) in [
         ("pipeline_infer_kelems_per_s", "pipeline", &["500", "1k", "2k"][..]),
-        ("scale_infer_kelems_per_s", "scale", &["8k", "16k", "42k"][..]),
+        ("scale_infer_kelems_per_s", "scale", &["8k", "16k", "42k", "tenx"][..]),
     ] {
         for tier in tiers {
             let bench = format!("infer/{tier}");
@@ -233,16 +233,19 @@ fn bench_json(input: &str, output: &str) -> i32 {
         }
     }
 
-    // PR8 memory acceptance: headroom of the 42k cold infer under the
-    // tier's RSS ceiling (>= 1.0 means the peak stayed below it).
+    // PR8/PR10 memory acceptance: headroom of the cold infer under the
+    // 8 GiB tier ceiling (>= 1.0 means the peak stayed below it), per
+    // tier that measured a child-process RSS.
     const SCALE_RSS_CEILING_KB: f64 = 8.0 * 1024.0 * 1024.0; // 8 GiB
-    if let Some(rss) = field("scale_rss", "infer/42k", "rss_kb") {
-        if rss > 0.0 {
-            ratios.push(format!(
-                "{{\"name\":\"scale_rss_headroom/42k\",\
-                 \"baseline\":\"ceiling_8gib\",\"ratio\":{:.2}}}",
-                SCALE_RSS_CEILING_KB / rss
-            ));
+    for tier in ["42k", "tenx"] {
+        if let Some(rss) = field("scale_rss", &format!("infer/{tier}"), "rss_kb") {
+            if rss > 0.0 {
+                ratios.push(format!(
+                    "{{\"name\":\"scale_rss_headroom/{tier}\",\
+                     \"baseline\":\"ceiling_8gib\",\"ratio\":{:.2}}}",
+                    SCALE_RSS_CEILING_KB / rss
+                ));
+            }
         }
     }
 
@@ -421,11 +424,16 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
     let mut failed = false;
     for &(family, floor) in FLOORS {
         let prefix = format!("{family}/");
-        let best = new
-            .iter()
-            .filter(|(n, _)| n.starts_with(&prefix))
-            .max_by(|a, b| a.1.total_cmp(&b.1));
-        let Some((name, ratio)) = best else {
+        // Speedup families gate their best scale (small tiers jitter);
+        // the RSS headroom is a ceiling property that must hold at
+        // every measured tier, so it gates its *worst* one.
+        let pick = new.iter().filter(|(n, _)| n.starts_with(&prefix));
+        let picked = if family == "scale_rss_headroom" {
+            pick.min_by(|a, b| a.1.total_cmp(&b.1))
+        } else {
+            pick.max_by(|a, b| a.1.total_cmp(&b.1))
+        };
+        let Some((name, ratio)) = picked else {
             continue;
         };
         let floor = if family == "ingest_parallel_speedup" && host_cpus < 4 {
@@ -460,9 +468,14 @@ fn bench_check(new_path: &str, baseline_path: &str) -> i32 {
     /// Cost-ratio ceilings (lower is better), matched by exact name:
     /// the PR9 incremental acceptance — a delta refresh after the
     /// multiplicity-preserving 1%-churn batch must cost at most 10% of
-    /// a cold run. The 5%/20% structural-churn ratios are recorded but
-    /// not gated; full structure churn legitimately approaches 1.0.
-    const CEILINGS: &[(&str, f64)] = &[("delta_over_cold_ratio/1pct", 0.10)];
+    /// a cold run — and the PR10 structural-churn bound: even at 20%
+    /// mixed churn, where every stage recomputes, the session's
+    /// maintained evidence must keep the refresh no dearer than a cold
+    /// rebuild. The 5% ratio stays recorded but ungated.
+    const CEILINGS: &[(&str, f64)] = &[
+        ("delta_over_cold_ratio/1pct", 0.10),
+        ("delta_over_cold_ratio/20pct", 1.0),
+    ];
     for &(name, ceiling) in CEILINGS {
         let Some((_, ratio)) = new.iter().find(|(n, _)| n == name) else {
             continue;

@@ -27,6 +27,8 @@ pub struct Scenario {
     pub anomalies: AnomalyConfig,
     /// Optional cap on propagated destinations.
     pub destination_sample: Option<usize>,
+    /// Optional cap on retained RIB entries per vantage point.
+    pub rib_cap_per_vp: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -35,14 +37,18 @@ impl Scenario {
     /// Default scenario at a given scale: paper-like VP counts scaled to
     /// topology size, clean paths.
     pub fn at_scale(scale: Scale, seed: u64) -> Self {
-        let (vps, sample) = match scale {
-            Scale::Tiny => (8, None),
-            Scale::Small => (30, None),
-            Scale::Medium => (120, Some(4_000)),
-            Scale::Internet => (315, Some(6_000)),
+        let (vps, sample, rib_cap) = match scale {
+            Scale::Tiny => (8, None, None),
+            Scale::Small => (30, None, None),
+            Scale::Medium => (120, Some(4_000), None),
+            Scale::Internet => (315, Some(6_000), None),
             // Paper-like VP count held at the 2013 collector population;
-            // destinations sampled harder so simulation stays tractable.
-            Scale::TenX => (315, Some(8_000)),
+            // destinations sampled harder so simulation stays tractable,
+            // and per-VP RIB retention bounded so collection memory is
+            // `vps × cap` rather than `vps × destinations × prefixes` —
+            // the cap sits above what a full feed observes at this
+            // sampling rate, so it is a ceiling, not a thinning.
+            Scale::TenX => (315, Some(6_000), Some(24_000)),
         };
         Scenario {
             topology: scale.topology(),
@@ -50,6 +56,7 @@ impl Scenario {
             full_feed: 116.0 / 315.0,
             anomalies: AnomalyConfig::none(),
             destination_sample: sample,
+            rib_cap_per_vp: rib_cap,
             seed,
         }
     }
@@ -68,6 +75,7 @@ pub fn scenario_inputs(scenario: &Scenario) -> (PathSet, InferenceConfig) {
         full_feed_fraction: scenario.full_feed,
         anomalies: scenario.anomalies.clone(),
         destination_sample: scenario.destination_sample,
+        rib_cap_per_vp: scenario.rib_cap_per_vp,
         threads: 0,
         seed: scenario.seed,
     };
@@ -100,6 +108,7 @@ impl Workbench {
             full_feed_fraction: scenario.full_feed,
             anomalies: scenario.anomalies.clone(),
             destination_sample: scenario.destination_sample,
+            rib_cap_per_vp: scenario.rib_cap_per_vp,
             threads: 0,
             seed: scenario.seed,
         };
@@ -124,6 +133,7 @@ impl Workbench {
             full_feed_fraction: self.scenario.full_feed,
             anomalies: self.scenario.anomalies.clone(),
             destination_sample: self.scenario.destination_sample,
+            rib_cap_per_vp: self.scenario.rib_cap_per_vp,
             threads: 0,
             seed: self.scenario.seed,
         };

@@ -15,7 +15,14 @@
 /// benches that record RSS still run on non-Linux hosts and simply
 /// skip the measurement.
 pub fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    peak_rss_kb_from(std::path::Path::new("/proc/self/status"))
+}
+
+/// [`peak_rss_kb`] with the status document path injected — the
+/// missing-`/proc` fallback is testable by pointing at a path that
+/// does not exist.
+fn peak_rss_kb_from(status_path: &std::path::Path) -> Option<u64> {
+    let status = std::fs::read_to_string(status_path).ok()?;
     parse_vm_hwm(&status)
 }
 
@@ -63,6 +70,29 @@ mod tests {
         assert_eq!(parse_vm_hwm("VmHWM:\t 5\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\t lots kB\n"), None);
         assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+    }
+
+    #[test]
+    fn missing_proc_is_none_not_panic() {
+        // Hosts without procfs (macOS, some containers) must degrade to
+        // a skipped measurement, never an error.
+        let bogus = std::env::temp_dir().join("asrank_no_such_proc_status");
+        assert_eq!(peak_rss_kb_from(&bogus), None);
+    }
+
+    #[test]
+    fn unreadable_status_document_is_none() {
+        // A file that exists but is not a status document (e.g. a
+        // stubbed /proc) parses to None rather than garbage.
+        let dir = std::env::temp_dir().join(format!("asrank_rss_stub_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("status");
+        std::fs::write(&path, "not a status file\n").unwrap();
+        assert_eq!(peak_rss_kb_from(&path), None);
+        // Non-kB units in an otherwise well-formed document: same story.
+        std::fs::write(&path, "VmHWM:\t 12345 mB\n").unwrap();
+        assert_eq!(peak_rss_kb_from(&path), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -102,13 +102,80 @@ impl RouteTree {
     }
 }
 
+/// Reusable scratch buffers for route propagation.
+///
+/// [`compute_route_tree`] needs an offer table, Dial buckets, and BFS
+/// frontiers, all sized by the graph — at 400k ASes that is hundreds of
+/// thousands of `Vec`s allocated and dropped *per destination*. A
+/// workspace amortizes them across destinations: each caller thread
+/// holds one and passes it to [`compute_route_tree_with`]. Buffers are
+/// cleared (capacity retained) between destinations, so results are
+/// identical to the allocate-fresh path.
+#[derive(Debug, Default)]
+pub struct PropagationWorkspace {
+    offers: Vec<Option<Route>>,
+    buckets: Vec<Vec<u32>>,
+    /// Highest bucket index touched this destination — only `0..=hi`
+    /// needs clearing afterwards (bucket indices are hop counts, so in
+    /// practice a dozen out of `n + 2`).
+    hi_bucket: usize,
+    scratch: Vec<u32>,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl PropagationWorkspace {
+    /// A workspace; buffers grow lazily to the graph size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size buffers for a graph of `n` nodes and reset per-destination
+    /// state. Buckets touched by the previous destination are cleared
+    /// here — including entries parked in an already-drained bucket by
+    /// the saturated `nh == h` hop-cap case, which must not leak into
+    /// the next destination's propagation.
+    fn reset(&mut self, n: usize, max_bucket: usize) {
+        if self.offers.len() < n {
+            self.offers.resize(n, None);
+        }
+        self.offers[..n].fill(None);
+        if self.buckets.len() < max_bucket {
+            self.buckets.resize_with(max_bucket, Vec::new);
+        }
+        for b in &mut self.buckets[..=self.hi_bucket] {
+            b.clear();
+        }
+        self.hi_bucket = 0;
+        self.scratch.clear();
+        self.frontier.clear();
+        self.next.clear();
+    }
+}
+
 /// Compute the route tree for `dest`.
 ///
 /// `leakers`, when provided, marks ASes (by dense id) that violate export
 /// policy for this destination by re-announcing provider/peer routes
 /// upward and sideways.
+///
+/// Allocates fresh scratch buffers; loops over many destinations should
+/// hold a [`PropagationWorkspace`] and call [`compute_route_tree_with`].
 pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) -> RouteTree {
+    compute_route_tree_with(g, dest, leakers, &mut PropagationWorkspace::new())
+}
+
+/// [`compute_route_tree`] with caller-provided scratch buffers; produces
+/// bit-identical trees for any workspace state.
+pub fn compute_route_tree_with(
+    g: &PolicyGraph,
+    dest: u32,
+    leakers: Option<&[bool]>,
+    ws: &mut PropagationWorkspace,
+) -> RouteTree {
     let n = g.len();
+    let max_bucket = (n + 2).max(64);
+    ws.reset(n, max_bucket);
     let mut routes: Vec<Option<Route>> = vec![None; n];
     routes[dest as usize] = Some(Route {
         pref: PrefClass::Origin,
@@ -128,11 +195,13 @@ pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) 
     // --- Stage 1: customer routes climb provider / sibling edges. ---
     // Level-synchronous BFS; candidates reached at the same level pick
     // the parent minimizing their tie-break key.
-    let mut frontier: Vec<u32> = vec![dest];
+    let mut frontier = std::mem::take(&mut ws.frontier);
+    let mut next = std::mem::take(&mut ws.next);
+    frontier.push(dest);
     let mut hops: u16 = 0;
     while !frontier.is_empty() {
         hops += 1;
-        let mut next: Vec<u32> = Vec::new();
+        next.clear();
         for &u in &frontier {
             for &v in g.providers(u).iter().chain(g.siblings(u)) {
                 match routes[v as usize] {
@@ -160,13 +229,15 @@ pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) 
         }
         next.sort_unstable();
         next.dedup();
-        frontier = next;
+        std::mem::swap(&mut frontier, &mut next);
     }
+    ws.frontier = frontier;
+    ws.next = next;
 
     // --- Stage 2: one hop across peering edges. ---
     // Offers are collected first so every peer sees the same pre-stage
     // state (simultaneous announcement), then the best offer wins.
-    let mut offers: Vec<Option<Route>> = vec![None; n];
+    let offers = &mut ws.offers;
     for u in 0..n as u32 {
         let Some(r) = routes[u as usize] else {
             continue;
@@ -203,22 +274,33 @@ pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) 
     // --- Stage 3: provider routes descend customer / sibling edges. ---
     // Multi-source shortest-path with unit weights (Dial buckets): every
     // current route holder is a source at its own hop count.
-    let max_bucket = (n + 2).max(64);
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_bucket];
+    let PropagationWorkspace {
+        buckets,
+        scratch,
+        hi_bucket,
+        ..
+    } = ws;
+    let mut hi = 0usize;
     for u in 0..n as u32 {
         if let Some(r) = routes[u as usize] {
             let h = (r.hops as usize).min(max_bucket - 1);
             buckets[h].push(u);
+            hi = hi.max(h);
         }
     }
     for h in 0..max_bucket {
         if buckets[h].is_empty() {
             continue;
         }
-        let mut bucket = std::mem::take(&mut buckets[h]);
-        bucket.sort_unstable();
-        bucket.dedup();
-        for u in bucket {
+        // Drain via the scratch buffer (same semantics as taking the
+        // bucket, but both capacities survive for the next destination).
+        scratch.clear();
+        scratch.append(&mut buckets[h]);
+        scratch.sort_unstable();
+        scratch.dedup();
+        hi = hi.max((h + 1).min(max_bucket - 1));
+        for i in 0..scratch.len() {
+            let u = scratch[i];
             let Some(r) = routes[u as usize] else {
                 continue;
             };
@@ -254,7 +336,7 @@ pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) 
                     }
                 };
             for &v in g.customers(u).iter().chain(g.siblings(u)) {
-                announce(v, &mut routes, &mut buckets);
+                announce(v, &mut routes, buckets);
             }
             // Route leak: this AS also re-exports upward/sideways. The
             // recipients then continue ordinary downward propagation,
@@ -263,11 +345,12 @@ pub fn compute_route_tree(g: &PolicyGraph, dest: u32, leakers: Option<&[bool]>) 
                 leakers.map(|l| l[u as usize]).unwrap_or(false) && r.pref >= PrefClass::Peer;
             if leaking {
                 for &v in g.providers(u).iter().chain(g.peers(u)) {
-                    announce(v, &mut routes, &mut buckets);
+                    announce(v, &mut routes, buckets);
                 }
             }
         }
     }
+    *hi_bucket = hi;
 
     RouteTree { dest, routes }
 }
@@ -292,9 +375,10 @@ pub fn compute_route_trees(
     }
     let chunk = par.chunk_size(dests.len(), 1);
     if chunk >= dests.len() {
+        let mut ws = PropagationWorkspace::new();
         return dests
             .iter()
-            .map(|&d| compute_route_tree(g, d, leakers))
+            .map(|&d| compute_route_tree_with(g, d, leakers, &mut ws))
             .collect();
     }
     crossbeam::scope(|scope| {
@@ -302,8 +386,9 @@ pub fn compute_route_trees(
             .chunks(chunk)
             .map(|c| {
                 scope.spawn(move |_| {
+                    let mut ws = PropagationWorkspace::new();
                     c.iter()
-                        .map(|&d| compute_route_tree(g, d, leakers))
+                        .map(|&d| compute_route_tree_with(g, d, leakers, &mut ws))
                         .collect::<Vec<RouteTree>>()
                 })
             })
@@ -470,6 +555,31 @@ mod tests {
             }
         }
         assert!(compute_route_trees(&g, &[], None, Parallelism::auto()).is_empty());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_computation() {
+        // One workspace carried across destinations (including a leaky
+        // one) must reproduce the allocate-fresh trees exactly — stale
+        // bucket or offer state would surface as a diverging route.
+        let (g, id) = diamond();
+        let mut leakers = vec![false; g.len()];
+        leakers[id(20) as usize] = true;
+        let mut ws = PropagationWorkspace::new();
+        for round in 0..2 {
+            for dest in [100u32, 200, 10, 20, 1, 2] {
+                let leak = if dest == 100 { Some(&leakers[..]) } else { None };
+                let fresh = compute_route_tree(&g, id(dest), leak);
+                let reused = compute_route_tree_with(&g, id(dest), leak, &mut ws);
+                for node in g.ids() {
+                    assert_eq!(
+                        fresh.route(node),
+                        reused.route(node),
+                        "round {round} dest {dest} node {node}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::anomaly::{emit_path, AnomalyConfig, AnomalyStats};
 use crate::collector::{select_vps, VantagePoint, VpSelection};
 use crate::graph::PolicyGraph;
 use crate::hash;
-use crate::propagate::compute_route_tree;
+use crate::propagate::{compute_route_tree_with, PropagationWorkspace};
 use as_topology_gen::GeneratedTopology;
 use asrank_types::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -24,6 +24,14 @@ pub struct SimConfig {
     /// (`None` = all). Sampling keeps huge topologies tractable while
     /// preserving path structure; origins are chosen deterministically.
     pub destination_sample: Option<usize>,
+    /// Upper bound on retained RIB entries per vantage point (`None` =
+    /// unbounded). Applied in destination order during reassembly, so
+    /// the retained set is identical for every thread count. At the
+    /// 400k-AS tier an unbounded collection holds millions of cloned
+    /// paths; the cap keeps peak RSS proportional to `vps × cap`
+    /// instead of `vps × destinations × prefixes`.
+    #[serde(default)]
+    pub rib_cap_per_vp: Option<usize>,
     /// Worker threads (0 = use all available cores).
     pub threads: usize,
     /// Master seed for VP choice, feeds, and artifacts.
@@ -39,6 +47,7 @@ impl SimConfig {
             full_feed_fraction: 0.4,
             anomalies: AnomalyConfig::none(),
             destination_sample: None,
+            rib_cap_per_vp: None,
             threads: 0,
             seed,
         }
@@ -51,6 +60,7 @@ impl SimConfig {
             full_feed_fraction: 116.0 / 315.0,
             anomalies: AnomalyConfig::none(),
             destination_sample: None,
+            rib_cap_per_vp: None,
             threads: 0,
             seed,
         }
@@ -156,8 +166,16 @@ pub fn simulate(topo: &GeneratedTopology, config: &SimConfig) -> SimOutput {
 
     let mut paths = PathSet::new();
     let mut stats = SimStats::default();
+    let mut per_vp: std::collections::HashMap<Asn, usize> = std::collections::HashMap::new();
     for (samples, s) in per_chunk {
         for sample in samples {
+            if let Some(cap) = config.rib_cap_per_vp {
+                let held = per_vp.entry(sample.vp).or_insert(0);
+                if *held >= cap {
+                    continue;
+                }
+                *held += 1;
+            }
             paths.push(sample);
         }
         stats.destinations += s.destinations;
@@ -181,6 +199,7 @@ fn run_chunk(
     let mut stats = SimStats::default();
     let leak_on = config.anomalies.leak_prob > 0.0;
     let mut leakers: Vec<bool> = vec![false; g.len()];
+    let mut ws = PropagationWorkspace::new();
 
     for &dest_asn in dests {
         let Some(dest) = g.id(dest_asn) else { continue };
@@ -205,7 +224,7 @@ fn run_chunk(
             None
         };
 
-        let tree = compute_route_tree(g, dest, leak_slice);
+        let tree = compute_route_tree_with(g, dest, leak_slice, &mut ws);
         let prefixes = &topo.ground_truth.prefixes[&dest_asn];
 
         for &(vp_idx, vp_id) in vp_ids {
@@ -374,6 +393,36 @@ mod tests {
         cfg.destination_sample = Some(10);
         let out = simulate(&topo, &cfg);
         assert_eq!(out.stats.destinations, 10);
+    }
+
+    #[test]
+    fn rib_cap_bounds_per_vp_retention_deterministically() {
+        let topo = generate(&TopologyConfig::tiny(), 21);
+        let mut cfg = SimConfig::defaults(21);
+        cfg.vp_selection = VpSelection::Count(6);
+        cfg.full_feed_fraction = 1.0;
+        let uncapped = simulate(&topo, &cfg);
+        let max_held = uncapped
+            .paths
+            .prefixes_per_vp()
+            .into_iter()
+            .map(|(_, n)| n)
+            .max()
+            .unwrap();
+        let cap = max_held / 2;
+        cfg.rib_cap_per_vp = Some(cap);
+        cfg.threads = 1;
+        let capped1 = simulate(&topo, &cfg);
+        for (vp, _) in capped1.paths.prefixes_per_vp() {
+            let held = capped1.paths.iter().filter(|s| s.vp == vp).count();
+            assert!(held <= cap, "vp {vp} holds {held} > cap {cap}");
+        }
+        // The retained set must not depend on worker count.
+        cfg.threads = 4;
+        let capped4 = simulate(&topo, &cfg);
+        let s1: std::collections::HashSet<_> = capped1.paths.iter().cloned().collect();
+        let s4: std::collections::HashSet<_> = capped4.paths.iter().cloned().collect();
+        assert_eq!(s1, s4);
     }
 
     #[test]

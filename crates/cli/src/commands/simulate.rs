@@ -63,6 +63,7 @@ pub fn run(args: &[String]) -> i32 {
             full_feed_fraction: full_feed,
             anomalies,
             destination_sample: dest_sample,
+            rib_cap_per_vp: None,
             threads,
             seed,
         },

@@ -1222,6 +1222,7 @@ impl<'a> Snapshot<'a> {
             let artifact = match idx {
                 S1_SANITIZE => Artifact::Sanitized(provider.sanitized()),
                 PATH_ARENA => Artifact::Arena(provider.arena()),
+                S2_DEGREES => Artifact::Degrees(provider.degrees()),
                 S6_VP_PROVIDERS if !self.env.cfg.ablation.no_vp_step => {
                     let step = match self.store.peek(S5_TOPDOWN, self.fingerprint(S5_TOPDOWN)) {
                         Some(Artifact::Steps(s)) => s,
@@ -1325,6 +1326,10 @@ pub(crate) trait DeltaProvider {
     /// The arena without re-deduplicating: canonicalize the in-place
     /// slot table.
     fn arena(&mut self) -> Arc<PathArena>;
+    /// S2 without re-scanning every sanitized path: assemble the degree
+    /// table from maintained per-link refcounts (`O(V log V)` in
+    /// observed ASes instead of `O(total hops)`).
+    fn degrees(&mut self) -> Arc<DegreeTable>;
     /// S6 without re-scanning every sample: classify over maintained
     /// `(vp, first hop)` distinct-prefix counters, starting from the
     /// current S5 state.

@@ -48,6 +48,21 @@ pub struct InferenceConfig {
     /// invalidate cached artifacts.
     // lint: allow(fp-excluded, cache-blocking width only — outputs are bit-identical for every value, so it must not invalidate cached artifacts)
     pub cone_sweep_block: usize,
+    /// Dirty-sample fraction above which a
+    /// [`crate::delta::DeltaSession::refresh`] abandons the incremental
+    /// walk and recomputes from scratch. `benches/delta.rs` measured the
+    /// crossover at the 8k tier and found none up to 20% churn: the
+    /// session's maintained evidence makes the walk's S1/S2/arena/S6
+    /// strictly cheaper than their cold scans while every other stage
+    /// runs identically, so the walk undercuts a cold rebuild at every
+    /// churn fraction. The default of `1.0` therefore disables the
+    /// fallback for any single-emission churn up to full replacement;
+    /// the knob remains as an operational escape hatch (the fraction
+    /// can exceed 1.0 for withdraw-heavy streams, and other datasets
+    /// may balance differently). A scheduling policy, not an algorithm
+    /// parameter: both paths emit byte-identical artifacts.
+    // lint: allow(fp-excluded, refresh scheduling policy only — outputs are bit-identical for every value, so it must not invalidate cached artifacts)
+    pub delta_cold_cutover: f64,
 }
 
 /// Per-step ablation switches (used by the E12 ablation experiment).
@@ -79,6 +94,7 @@ impl Default for InferenceConfig {
             ablation: Ablation::default(),
             parallelism: Parallelism::default(),
             cone_sweep_block: 0,
+            delta_cold_cutover: 1.0,
         }
     }
 }

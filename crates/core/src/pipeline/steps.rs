@@ -17,6 +17,7 @@ use crate::degree::DegreeTable;
 use crate::patharena::PathArena;
 use crate::sanitize::SanitizedPaths;
 use asrank_types::prelude::*;
+use asrank_types::FxHashMap;
 use std::collections::{HashMap, HashSet};
 
 /// Execute S4–S11 over the shared path arena and return the final
@@ -296,38 +297,64 @@ pub fn infer_vp_providers(
     rels: &mut RelationshipMap,
     report: &mut InferenceReport,
 ) {
-    // (vp, first hop) → distinct prefixes, plus per-VP totals. Evidence
-    // is collected per chunk on worker threads and merged by set union —
-    // order-independent, so the result matches the sequential scan.
+    // Distinct-prefix evidence, flattened: instead of one prefix set
+    // per `(vp, first hop)` key (millions of hashed inserts at scale),
+    // gather a flat `(vp, first hop, prefix)` triple per qualifying
+    // sample — a cheap per-chunk append on worker threads — then sort
+    // and run-length count. The triple sort also yields the candidate
+    // walk order directly, so the classification consumes exactly the
+    // sequence the per-set construction sorted into.
     let per_chunk = crate::par::map_chunks(cfg.parallelism, 512, &sanitized.samples, |chunk| {
-        let mut via: HashMap<(Asn, Asn), HashSet<Ipv4Prefix>> = HashMap::new();
-        let mut totals: HashMap<Asn, HashSet<Ipv4Prefix>> = HashMap::new();
+        let mut triples: Vec<(Asn, Asn, Ipv4Prefix)> = Vec::with_capacity(chunk.len());
         for s in chunk {
             let hops = &s.path.0;
             if hops.len() < 2 || hops[0] != s.vp {
                 continue;
             }
-            via.entry((s.vp, hops[1])).or_default().insert(s.prefix);
-            totals.entry(s.vp).or_default().insert(s.prefix);
+            triples.push((s.vp, hops[1], s.prefix));
         }
-        (via, totals)
+        triples
     });
-    let mut via: HashMap<(Asn, Asn), HashSet<Ipv4Prefix>> = HashMap::new();
-    let mut totals: HashMap<Asn, HashSet<Ipv4Prefix>> = HashMap::new();
-    for (v, t) in per_chunk {
-        for (k, set) in v {
-            via.entry(k).or_default().extend(set);
-        }
-        for (k, set) in t {
-            totals.entry(k).or_default().extend(set);
-        }
+    let mut triples: Vec<(Asn, Asn, Ipv4Prefix)> =
+        Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+    for chunk in per_chunk {
+        triples.extend_from_slice(&chunk);
     }
-    let mut candidates: Vec<(Asn, Asn)> = via.keys().copied().collect();
-    candidates.sort();
+    triples.sort_unstable();
+    triples.dedup();
+
+    // `via[(vp, w)]` = run length over the sorted triples; candidates
+    // come out in sorted `(vp, w)` order for free.
+    let mut candidates: Vec<(Asn, Asn)> = Vec::new();
+    let mut via: FxHashMap<(Asn, Asn), usize> = FxHashMap::default();
+    let mut i = 0usize;
+    while i < triples.len() {
+        let (vp, w, _) = triples[i];
+        let mut j = i + 1;
+        while j < triples.len() && triples[j].0 == vp && triples[j].1 == w {
+            j += 1;
+        }
+        candidates.push((vp, w));
+        via.insert((vp, w), j - i);
+        i = j;
+    }
+
+    // `totals[vp]` = distinct prefixes per VP. A `(vp, prefix)` key can
+    // recur under different first hops when the input holds duplicate
+    // samples for it, so the per-VP count needs its own dedup pass.
+    let mut vp_prefixes: Vec<(Asn, Ipv4Prefix)> =
+        triples.iter().map(|&(vp, _, p)| (vp, p)).collect();
+    vp_prefixes.sort_unstable();
+    vp_prefixes.dedup();
+    let mut totals: FxHashMap<Asn, usize> = FxHashMap::default();
+    for &(vp, _) in &vp_prefixes {
+        *totals.entry(vp).or_default() += 1;
+    }
+
     classify_vp_providers(
         &candidates,
-        |vp, w| via[&(vp, w)].len(),
-        |vp| totals[&vp].len(),
+        |vp, w| via[&(vp, w)],
+        |vp| totals.get(&vp).copied().unwrap_or(0),
         degrees,
         cfg,
         rels,

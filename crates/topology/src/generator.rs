@@ -177,6 +177,109 @@ fn maybe_peer(b: &mut Builder, x: Asn, y: Asn) {
     }
 }
 
+/// How edge-phase Bernoulli successes are decoded into AS pairs.
+///
+/// Both modes consume the RNG identically (the draws happen inside
+/// [`bernoulli_positions`], shared by construction); they differ only in
+/// the non-random machinery that maps a success position back to a
+/// candidate pair. [`EdgeSampling::Fast`] decodes positions in closed
+/// form without materializing the candidate space;
+/// [`EdgeSampling::Reference`] builds the explicit candidate list and
+/// indexes into it — O(candidates) per phase, kept as the oracle the
+/// fast decode is proptest-pinned against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EdgeSampling {
+    /// Closed-form position decode; the production path.
+    Fast,
+    /// Materialized candidate lists; the pinned reference.
+    Reference,
+}
+
+/// Success positions of `n` independent Bernoulli(`p`) trials, found by
+/// geometric gap skipping: each draw yields the number of failures
+/// before the next success (`⌊ln(1-u)/ln(1-p)⌋`, the inverse-CDF of the
+/// geometric distribution), so the expected draw count is `n·p + 1`
+/// instead of `n`. `G = 0 ⇔ u < p`, i.e. each position succeeds with
+/// exactly probability `p`, matching a per-position `random_bool(p)`
+/// marginally — only far fewer RNG calls are spent discovering the
+/// failures. Positions come back strictly ascending.
+fn bernoulli_positions(rng: &mut StdRng, n: usize, p: f64) -> Vec<usize> {
+    if n == 0 || p <= 0.0 {
+        return Vec::new();
+    }
+    if p >= 1.0 {
+        return (0..n).collect();
+    }
+    let denom = (1.0 - p).ln(); // negative and finite for p in (0, 1)
+    let mut out = Vec::new();
+    let mut cur = 0usize;
+    while cur < n {
+        let u: f64 = rng.random();
+        let gap = ((1.0 - u).ln() / denom).floor();
+        if !(gap >= 0.0) || gap >= (n - cur) as f64 {
+            break; // overshot the remaining candidate space: no more successes
+        }
+        cur += gap as usize;
+        out.push(cur);
+        cur += 1;
+    }
+    out
+}
+
+/// Decode linear index `k` into the `(i, j)` pair (`i < j`) at that
+/// position of the lexicographic traversal `for i { for j in i+1.. }`
+/// over `n` items. A float sqrt gives the row guess; the fix-up loops
+/// settle integer rounding (at most a step or two).
+fn tri_decode(n: usize, k: usize) -> (usize, usize) {
+    // Pairs with first element < i: C(i) = i·(n-1) - i·(i-1)/2,
+    // factored as i·(2n-i-1)/2 so no operand underflows at i = 0.
+    let c = |i: usize| i * (2 * n - i - 1) / 2;
+    let nf = n as f64 - 0.5;
+    let mut i = (nf - (nf * nf - 2.0 * k as f64).max(0.0).sqrt()) as usize;
+    i = i.min(n.saturating_sub(2));
+    while i + 2 < n && c(i + 1) <= k {
+        i += 1;
+    }
+    while i > 0 && c(i) > k {
+        i -= 1;
+    }
+    (i, i + 1 + (k - c(i)))
+}
+
+/// Peer unordered pairs of `items` with probability `p` each, visiting
+/// successes in the same lexicographic `(i, j)` order the old nested
+/// `random_bool` loops used.
+fn peer_triangular(b: &mut Builder, items: &[Asn], p: f64, mode: EdgeSampling) {
+    let n = items.len();
+    if n < 2 {
+        return;
+    }
+    let hits = bernoulli_positions(&mut b.rng, n * (n - 1) / 2, p);
+    if hits.is_empty() {
+        return;
+    }
+    match mode {
+        EdgeSampling::Fast => {
+            for k in hits {
+                let (i, j) = tri_decode(n, k);
+                maybe_peer(b, items[i], items[j]);
+            }
+        }
+        EdgeSampling::Reference => {
+            let mut pairs: Vec<(Asn, Asn)> = Vec::with_capacity(n * (n - 1) / 2);
+            for (i, &x) in items.iter().enumerate() {
+                for &y in &items[i + 1..] {
+                    pairs.push((x, y));
+                }
+            }
+            for k in hits {
+                let (x, y) = pairs[k];
+                maybe_peer(b, x, y);
+            }
+        }
+    }
+}
+
 /// Generate a full topology from `config` and `seed`.
 ///
 /// Deterministic: equal inputs produce identical topologies.
@@ -192,6 +295,22 @@ fn maybe_peer(b: &mut Builder, x: Asn, y: Asn) {
 /// assert!(t1.ground_truth.check_invariants().is_empty());
 /// ```
 pub fn generate(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
+    generate_with(config, seed, EdgeSampling::Fast)
+}
+
+/// Generate with the retained reference edge sampler: candidate spaces
+/// are materialized and indexed instead of decoded in closed form.
+///
+/// Consumes the RNG identically to [`generate`] (both paths share
+/// [`bernoulli_positions`]), so for any `(config, seed)` the two must
+/// produce the same topology — the equivalence proptest pins this.
+/// O(candidates) time and memory per peering phase; use only as an
+/// oracle.
+pub fn generate_reference(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
+    generate_with(config, seed, EdgeSampling::Reference)
+}
+
+fn generate_with(config: &TopologyConfig, seed: u64, mode: EdgeSampling) -> GeneratedTopology {
     let mut b = Builder {
         rng: StdRng::seed_from_u64(seed),
         gt: GroundTruth::default(),
@@ -232,13 +351,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
         let n = provider_count(&mut b.rng, config.mean_providers_transit);
         attach_providers(&mut b, &mut tier1_pool, a, n, config.cross_region_prob);
     }
-    for (i, &x) in large.iter().enumerate() {
-        for &y in &large[i + 1..] {
-            if b.rng.random_bool(config.peer_prob_large) {
-                maybe_peer(&mut b, x, y);
-            }
-        }
-    }
+    peer_triangular(&mut b, &large, config.peer_prob_large, mode);
 
     // --- Mid transit: customers of large transit (sometimes the clique). ---
     let mut upper_pool = ProviderPool::new(regions);
@@ -264,13 +377,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
         by_region[b.regions[&m] as usize].push(m);
     }
     for bucket in &by_region {
-        for (i, &x) in bucket.iter().enumerate() {
-            for &y in &bucket[i + 1..] {
-                if b.rng.random_bool(config.peer_prob_mid) {
-                    maybe_peer(&mut b, x, y);
-                }
-            }
-        }
+        peer_triangular(&mut b, bucket, config.peer_prob_mid, mode);
     }
 
     // --- Small transit: customers of mid (occasionally large) transit. ---
@@ -306,19 +413,37 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
         let n = provider_count(&mut b.rng, config.mean_providers_stub);
         attach_providers(&mut b, &mut transit_pool, c, n, config.cross_region_prob);
     }
-    // Content peers with transit (and other content) in its region.
+    // Content peers with transit (and other content) in its region. Each
+    // content AS sits in its own region bucket, so the candidate space is
+    // the bucket minus itself — the fast decode skips the self slot in
+    // closed form, the reference materializes the filtered list.
     let mut transit_by_region: Vec<Vec<Asn>> = vec![Vec::new(); regions];
+    let mut bucket_pos: HashMap<Asn, usize> = HashMap::new();
     for &t in large.iter().chain(&mid).chain(&small).chain(&content) {
-        transit_by_region[b.regions[&t] as usize].push(t);
+        let bucket = &mut transit_by_region[b.regions[&t] as usize];
+        bucket_pos.insert(t, bucket.len());
+        bucket.push(t);
     }
     for &c in &content {
         let region = b.regions[&c] as usize;
-        // Snapshot the bucket to appease the borrow checker; peering
-        // decisions do not modify the bucket.
-        let candidates: Vec<Asn> = transit_by_region[region].clone();
-        for t in candidates {
-            if t != c && b.rng.random_bool(config.peer_prob_content) {
-                maybe_peer(&mut b, c, t);
+        let bucket = &transit_by_region[region];
+        if bucket.len() < 2 {
+            continue;
+        }
+        let hits = bernoulli_positions(&mut b.rng, bucket.len() - 1, config.peer_prob_content);
+        match mode {
+            EdgeSampling::Fast => {
+                let cpos = bucket_pos[&c];
+                for k in hits {
+                    let idx = if k >= cpos { k + 1 } else { k };
+                    maybe_peer(&mut b, c, bucket[idx]);
+                }
+            }
+            EdgeSampling::Reference => {
+                let candidates: Vec<Asn> = bucket.iter().copied().filter(|&t| t != c).collect();
+                for k in hits {
+                    maybe_peer(&mut b, c, candidates[k]);
+                }
             }
         }
     }
@@ -362,13 +487,7 @@ pub fn generate(config: &TopologyConfig, seed: u64) -> GeneratedTopology {
             members.swap(j, k);
         }
         members.truncate(want);
-        for (j, &x) in members.iter().enumerate() {
-            for &y in &members[j + 1..] {
-                if b.rng.random_bool(config.ixp.peering_prob) {
-                    maybe_peer(&mut b, x, y);
-                }
-            }
-        }
+        peer_triangular(&mut b, &members, config.ixp.peering_prob, mode);
         ixps.push(Ixp {
             route_server: rs,
             region,
@@ -601,6 +720,46 @@ mod tests {
                 AsClass::IxpRouteServer
             );
         }
+    }
+
+    #[test]
+    fn tri_decode_matches_nested_loop() {
+        for n in 2usize..40 {
+            let mut k = 0usize;
+            for i in 0..n {
+                for j in i + 1..n {
+                    assert_eq!(tri_decode(n, k), (i, j), "n={n} k={k}");
+                    k += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_positions_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(bernoulli_positions(&mut rng, 0, 0.5).is_empty());
+        assert!(bernoulli_positions(&mut rng, 100, 0.0).is_empty());
+        assert!(bernoulli_positions(&mut rng, 100, -1.0).is_empty());
+        assert_eq!(
+            bernoulli_positions(&mut rng, 5, 1.0),
+            vec![0, 1, 2, 3, 4],
+            "p >= 1 selects every position"
+        );
+        let hits = bernoulli_positions(&mut rng, 1000, 0.3);
+        assert!(hits.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(hits.iter().all(|&k| k < 1000), "in range");
+    }
+
+    #[test]
+    fn bernoulli_positions_hit_rate_matches_p() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (n, p, rounds) = (10_000usize, 0.05f64, 20);
+        let total: usize = (0..rounds)
+            .map(|_| bernoulli_positions(&mut rng, n, p).len())
+            .sum();
+        let rate = total as f64 / (n * rounds) as f64;
+        assert!((rate - p).abs() < 0.005, "hit rate {rate} vs p={p}");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::generator::{GeneratedTopology, Ixp};
 use crate::TopologyConfig;
 use asrank_types::prelude::*;
 use std::fmt;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 /// Errors raised while loading or saving a topology bundle.
@@ -82,17 +82,24 @@ fn class_from(s: &str) -> Option<AsClass> {
 }
 
 /// Save a topology bundle into `dir` (created if missing).
+///
+/// Records stream through buffered writers as they are produced: the
+/// only side buffers are compact sort indexes (12-byte link triples and
+/// a sorted ASN list), never formatted rows or a second copy of the
+/// graph — at the 400k-AS tier the old row-vector approach held the
+/// whole topology twice while writing.
 pub fn save_bundle(topo: &GeneratedTopology, dir: &Path) -> Result<(), BundleError> {
     std::fs::create_dir_all(dir)?;
 
     // as-rel.txt via the core-compatible format (inline writer to avoid a
-    // dependency cycle with asrank-core).
-    let mut rel = std::fs::File::create(dir.join("as-rel.txt"))?;
+    // dependency cycle with asrank-core). Deterministic output needs a
+    // global sort; the index holds packed triples, not rows.
+    let mut rel = BufWriter::new(std::fs::File::create(dir.join("as-rel.txt"))?);
     writeln!(
         rel,
         "# ground truth | provider|customer|-1, peer|peer|0, sibling|sibling|2"
     )?;
-    let mut lines: Vec<(u32, u32, i8)> = Vec::new();
+    let mut lines: Vec<(u32, u32, i8)> = Vec::with_capacity(topo.ground_truth.link_count());
     for (link, r) in topo.ground_truth.relationships.iter() {
         lines.push(match r {
             LinkRel::AC2pB => (link.b.0, link.a.0, -1),
@@ -105,50 +112,56 @@ pub fn save_bundle(topo: &GeneratedTopology, dir: &Path) -> Result<(), BundleErr
     for (a, b, c) in lines {
         writeln!(rel, "{a}|{b}|{c}")?;
     }
+    rel.flush()?;
 
-    let mut classes = std::fs::File::create(dir.join("classes.txt"))?;
+    // One sorted ASN list drives both classes.txt and prefixes.txt.
+    let mut asns: Vec<Asn> = topo.ground_truth.classes.keys().copied().collect();
+    asns.sort_unstable();
+
+    let mut classes = BufWriter::new(std::fs::File::create(dir.join("classes.txt"))?);
     writeln!(classes, "# asn|class|region")?;
-    let mut rows: Vec<(u32, AsClass, u8)> = topo
-        .ground_truth
-        .classes
-        .iter()
-        .map(|(&a, &c)| (a.0, c, topo.regions.get(&a).copied().unwrap_or(0)))
-        .collect();
-    rows.sort_unstable_by_key(|r| r.0);
-    for (a, c, r) in rows {
-        writeln!(classes, "{a}|{}|{r}", class_name(c))?;
+    for &asn in &asns {
+        let class = topo.ground_truth.classes[&asn];
+        let region = topo.regions.get(&asn).copied().unwrap_or(0);
+        writeln!(classes, "{}|{}|{region}", asn.0, class_name(class))?;
     }
+    classes.flush()?;
 
-    let mut prefixes = std::fs::File::create(dir.join("prefixes.txt"))?;
+    let mut prefixes = BufWriter::new(std::fs::File::create(dir.join("prefixes.txt"))?);
     writeln!(prefixes, "# asn|prefix")?;
-    let mut rows: Vec<(u32, Ipv4Prefix)> = topo
-        .ground_truth
-        .prefixes
-        .iter()
-        .flat_map(|(&a, ps)| ps.iter().map(move |&p| (a.0, p)))
-        .collect();
-    rows.sort_unstable();
-    for (a, p) in rows {
-        writeln!(prefixes, "{a}|{p}")?;
+    let mut per_as: Vec<Ipv4Prefix> = Vec::new();
+    for &asn in &asns {
+        let Some(ps) = topo.ground_truth.prefixes.get(&asn) else {
+            continue;
+        };
+        per_as.clear();
+        per_as.extend_from_slice(ps);
+        per_as.sort_unstable();
+        for p in &per_as {
+            writeln!(prefixes, "{}|{p}", asn.0)?;
+        }
     }
+    prefixes.flush()?;
 
-    let mut ixps = std::fs::File::create(dir.join("ixps.txt"))?;
+    let mut ixps = BufWriter::new(std::fs::File::create(dir.join("ixps.txt"))?);
     writeln!(ixps, "# route_server_asn|region|member,member,…")?;
     for ixp in &topo.ixps {
-        let members: Vec<String> = ixp.members.iter().map(|m| m.0.to_string()).collect();
-        writeln!(
-            ixps,
-            "{}|{}|{}",
-            ixp.route_server.0,
-            ixp.region,
-            members.join(",")
-        )?;
+        write!(ixps, "{}|{}|", ixp.route_server.0, ixp.region)?;
+        for (i, m) in ixp.members.iter().enumerate() {
+            if i > 0 {
+                write!(ixps, ",")?;
+            }
+            write!(ixps, "{}", m.0)?;
+        }
+        writeln!(ixps)?;
     }
+    ixps.flush()?;
 
-    let mut meta = std::fs::File::create(dir.join("meta.txt"))?;
+    let mut meta = BufWriter::new(std::fs::File::create(dir.join("meta.txt"))?);
     writeln!(meta, "seed={}", topo.seed)?;
     writeln!(meta, "ases={}", topo.ground_truth.as_count())?;
     writeln!(meta, "links={}", topo.ground_truth.link_count())?;
+    meta.flush()?;
     Ok(())
 }
 
@@ -316,6 +329,23 @@ mod tests {
         assert_eq!(count(&back), count(&topo));
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bundle_bytes_are_deterministic() {
+        // Two saves of the same topology must be byte-identical — the
+        // streamed writers may only vary where the sort indexes say so.
+        let topo = generate(&TopologyConfig::tiny(), 23);
+        let base = std::env::temp_dir().join(format!("asrank_bundle_det_{}", std::process::id()));
+        let (d1, d2) = (base.join("a"), base.join("b"));
+        save_bundle(&topo, &d1).unwrap();
+        save_bundle(&topo, &d2).unwrap();
+        for f in ["as-rel.txt", "classes.txt", "prefixes.txt", "ixps.txt", "meta.txt"] {
+            let a = std::fs::read(d1.join(f)).unwrap();
+            let b = std::fs::read(d2.join(f)).unwrap();
+            assert_eq!(a, b, "{f} differs between saves");
+        }
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Pins the production generator (closed-form edge-sample decode)
+//! bit-identical to the retained reference generator (materialized
+//! candidate lists) across scales and seeds.
+//!
+//! Both paths draw randomness through the shared geometric
+//! skip-sampler, so any divergence here means the *decode* — triangular
+//! index math, self-slot skipping, visit order — disagrees with the
+//! oracle. Full-topology equality is asserted: relationships, classes,
+//! regions, prefixes, and IXP membership.
+
+use as_topology_gen::{generate, generate_reference, GeneratedTopology, TopologyConfig};
+use proptest::prelude::*;
+
+fn assert_topologies_equal(fast: &GeneratedTopology, reference: &GeneratedTopology) {
+    let mut lf: Vec<_> = fast.ground_truth.relationships.iter().collect();
+    let mut lr: Vec<_> = reference.ground_truth.relationships.iter().collect();
+    lf.sort_by_key(|(l, _)| (l.a, l.b));
+    lr.sort_by_key(|(l, _)| (l.a, l.b));
+    assert_eq!(lf, lr, "relationship maps diverge");
+    assert_eq!(
+        fast.ground_truth.classes, reference.ground_truth.classes,
+        "class assignments diverge"
+    );
+    assert_eq!(
+        fast.ground_truth.prefixes, reference.ground_truth.prefixes,
+        "prefix allocations diverge"
+    );
+    assert_eq!(fast.regions, reference.regions, "regions diverge");
+    let ixp_key = |t: &GeneratedTopology| -> Vec<(u32, u8, Vec<u32>)> {
+        t.ixps
+            .iter()
+            .map(|i| {
+                (
+                    i.route_server.0,
+                    i.region,
+                    i.members.iter().map(|m| m.0).collect(),
+                )
+            })
+            .collect()
+    };
+    assert_eq!(ixp_key(fast), ixp_key(reference), "IXPs diverge");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fast_matches_reference_tiny(seed in 0u64..10_000) {
+        let cfg = TopologyConfig::tiny();
+        assert_topologies_equal(&generate(&cfg, seed), &generate_reference(&cfg, seed));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn fast_matches_reference_small(seed in 0u64..10_000) {
+        let cfg = TopologyConfig::small();
+        assert_topologies_equal(&generate(&cfg, seed), &generate_reference(&cfg, seed));
+    }
+}
+
+proptest! {
+    // Medium is ~10k ASes; a few cases keep the suite fast while still
+    // exercising multi-region buckets far larger than tiny/small.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn fast_matches_reference_medium(seed in 0u64..10_000) {
+        let cfg = TopologyConfig::medium();
+        assert_topologies_equal(&generate(&cfg, seed), &generate_reference(&cfg, seed));
+    }
+}

@@ -253,6 +253,30 @@ impl PathSet {
     pub fn from_samples(samples: Vec<PathSample>) -> Self {
         PathSet { samples }
     }
+
+    /// Remove the samples at `positions` (sorted ascending, deduplicated)
+    /// in place, preserving the order of the survivors. One compaction
+    /// pass, no reallocation — the incremental consumers fold a whole
+    /// batch of withdrawals with a single call instead of rebuilding the
+    /// vec.
+    pub fn remove_sorted_positions(&mut self, positions: &[u32]) {
+        if positions.is_empty() {
+            return;
+        }
+        let mut next = 0usize;
+        let mut out = 0usize;
+        for pos in 0..self.samples.len() {
+            if next < positions.len() && positions[next] as usize == pos {
+                next += 1;
+                continue;
+            }
+            if out != pos {
+                self.samples.swap(out, pos);
+            }
+            out += 1;
+        }
+        self.samples.truncate(out);
+    }
 }
 
 impl FromIterator<PathSample> for PathSet {
@@ -367,5 +391,22 @@ mod tests {
         let p = AsPath::from_u32s([5, 6, 7]);
         assert_eq!(p.position(Asn(6)), Some(1));
         assert_eq!(p.position(Asn(9)), None);
+    }
+
+    #[test]
+    fn remove_sorted_positions_compacts_in_place() {
+        let mut set: PathSet = (0..10u32)
+            .map(|i| sample(i, "10.0.0.0/8", &[i, i + 1]))
+            .collect();
+        // Removals at the front, middle, adjacent pair, and last slot.
+        set.remove_sorted_positions(&[0, 3, 4, 9]);
+        let vps: Vec<u32> = set.iter().map(|s| s.vp.0).collect();
+        assert_eq!(vps, vec![1, 2, 5, 6, 7, 8]);
+        // Empty removal set is a no-op.
+        set.remove_sorted_positions(&[]);
+        assert_eq!(set.len(), 6);
+        // Removing every survivor empties the set.
+        set.remove_sorted_positions(&[0, 1, 2, 3, 4, 5]);
+        assert!(set.is_empty());
     }
 }

@@ -42,6 +42,7 @@ fn main() {
             full_feed_fraction: 116.0 / 315.0,
             anomalies: AnomalyConfig::realistic(clique.clone()),
             destination_sample: Some(6_000),
+            rib_cap_per_vp: None,
             threads: 0,
             seed,
         },

@@ -31,6 +31,7 @@ fn main() {
                 full_feed_fraction: 0.4,
                 anomalies: Default::default(),
                 destination_sample: None,
+                rib_cap_per_vp: None,
                 threads: 0,
                 seed,
             },

@@ -155,6 +155,7 @@ fn vp_count_improves_p2p_visibility() {
                 full_feed_fraction: 0.4,
                 anomalies: Default::default(),
                 destination_sample: None,
+                rib_cap_per_vp: None,
                 threads: 0,
                 seed: 31,
             },

@@ -18,6 +18,7 @@ fn medium_scale_accuracy() {
             full_feed_fraction: 116.0 / 315.0,
             anomalies: Default::default(),
             destination_sample: Some(4_000),
+            rib_cap_per_vp: None,
             threads: 0,
             seed: 42,
         },
